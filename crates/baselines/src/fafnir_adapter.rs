@@ -1,0 +1,101 @@
+//! Adapter exposing [`fafnir_core::FafnirEngine`] through the common
+//! [`LookupEngine`] trait so benchmarks can compare all engines uniformly.
+
+use fafnir_core::batch::Batch;
+use fafnir_core::placement::EmbeddingSource;
+use fafnir_core::{FafnirConfig, FafnirEngine, FafnirError};
+use fafnir_mem::MemoryConfig;
+
+use crate::model::{LookupEngine, LookupOutcome};
+
+/// FAFNIR viewed as a [`LookupEngine`].
+#[derive(Debug, Clone)]
+pub struct FafnirLookup {
+    engine: FafnirEngine,
+}
+
+impl FafnirLookup {
+    /// Builds the adapter.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from [`FafnirEngine::new`].
+    pub fn new(config: FafnirConfig, mem_config: MemoryConfig) -> Result<Self, FafnirError> {
+        Ok(Self { engine: FafnirEngine::new(config, mem_config)? })
+    }
+
+    /// Paper-default FAFNIR over the given memory system.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from [`FafnirEngine::new`].
+    pub fn paper_default(mem_config: MemoryConfig) -> Result<Self, FafnirError> {
+        Self::new(FafnirConfig::paper_default(), mem_config)
+    }
+
+    /// The wrapped engine.
+    #[must_use]
+    pub fn engine(&self) -> &FafnirEngine {
+        &self.engine
+    }
+}
+
+impl LookupEngine for FafnirLookup {
+    fn name(&self) -> &'static str {
+        "fafnir"
+    }
+
+    fn lookup<S: EmbeddingSource>(
+        &self,
+        batch: &Batch,
+        source: &S,
+    ) -> Result<LookupOutcome, FafnirError> {
+        let result = self.engine.lookup(batch, source)?;
+        let dim = source.vector_dim() as u64;
+        // The root forwards n output vectors to the host over c links.
+        let host_transfer_ns = result.traffic.bytes_to_host as f64
+            / crate::model::CoreModel::server_cpu().link_bytes_per_ns;
+        let output_count = result.outputs.len() as f64;
+        Ok(LookupOutcome {
+            outputs: result.outputs,
+            total_ns: result.latency.total_ns,
+            memory_ns: result.latency.memory_ns,
+            compute_ns: result.latency.compute_tail_ns,
+            // The tree is fully pipelined: per batch it is busy only for the
+            // root's output serialization (one output per initiation
+            // interval per query), not the tree's depth.
+            compute_throughput_ns: output_count
+                * self.engine.config().pe_timing.output_interval_cycles as f64
+                * self.engine.config().pe_timing.cycle_ns(),
+            host_transfer_ns,
+            memory: result.memory,
+            vectors_read: result.traffic.vectors_read,
+            bytes_to_host: result.traffic.bytes_to_host,
+            // Every reduce the tree performed happened at NDP; count merged
+            // (deduplicated) reduces as element ops.
+            ndp_elem_ops: (result.tree.ops.reduces / 2).max(result.tree.ops.reduces.min(1)) * dim,
+            core_elem_ops: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::assert_outputs_match;
+    use fafnir_core::indexset;
+    use fafnir_core::{ReduceOp, StripedSource};
+
+    #[test]
+    fn adapter_matches_reference_and_is_all_ndp() {
+        let mem = MemoryConfig::ddr4_2400_4ch();
+        let fafnir = FafnirLookup::paper_default(mem).unwrap();
+        let source = StripedSource::new(mem.topology, 128);
+        let batch = Batch::from_index_sets([indexset![1, 2, 5, 6], indexset![3, 4, 5]]);
+        let outcome = fafnir.lookup(&batch, &source).unwrap();
+        assert_outputs_match(&outcome, &batch, &source, ReduceOp::Sum);
+        assert_eq!(outcome.core_elem_ops, 0);
+        assert_eq!(fafnir.name(), "fafnir");
+        assert!(outcome.ndp_elem_ops > 0);
+    }
+}

@@ -1,0 +1,50 @@
+//! # fafnir-baselines — the NDP baselines FAFNIR is compared against
+//!
+//! The paper evaluates FAFNIR against three embedding-lookup organizations:
+//!
+//! * [`no_ndp`] — the processor-centric baseline (Fig. 2a): everything is
+//!   gathered to the cores and reduced in software.
+//! * [`tensordimm`] — TensorDIMM (Fig. 2b): vectors split column-major over
+//!   all ranks, full NDP reduction, but row-buffer locality destroyed.
+//! * [`recnmp`] — RecNMP (Fig. 2c): rank-parallel whole-vector reads, NDP
+//!   reduction *only* for operands co-located in one DIMM, 128 KB rank
+//!   caches ([`cache`]) instead of batch dedup.
+//!
+//! All engines implement [`model::LookupEngine`], produce functionally
+//! verified outputs, and report the latency/traffic/ops breakdowns the
+//! paper's figures are built from. The SpMV baseline (the Two-Step
+//! algorithm) lives in `fafnir-sparse`, next to the formats it consumes.
+//!
+//! ```
+//! use fafnir_baselines::{LookupEngine, RecNmpEngine};
+//! use fafnir_core::{Batch, StripedSource};
+//! use fafnir_core::indexset;
+//! use fafnir_mem::MemoryConfig;
+//!
+//! # fn main() -> Result<(), fafnir_core::FafnirError> {
+//! let mem = MemoryConfig::ddr4_2400_4ch();
+//! let engine = RecNmpEngine::paper_default(mem);
+//! let source = StripedSource::new(mem.topology, 128);
+//! let batch = Batch::from_index_sets([indexset![1, 2, 5, 6]]);
+//! let outcome = engine.lookup(&batch, &source)?;
+//! println!("{}: {:.0} ns", engine.name(), outcome.total_ns);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod fafnir_adapter;
+pub mod model;
+pub mod no_ndp;
+pub mod recnmp;
+pub mod tensordimm;
+
+pub use cache::VectorCache;
+pub use fafnir_adapter::FafnirLookup;
+pub use model::{CoreModel, LookupEngine, LookupOutcome};
+pub use no_ndp::NoNdpEngine;
+pub use recnmp::RecNmpEngine;
+pub use tensordimm::TensorDimmEngine;

@@ -1,0 +1,138 @@
+//! The no-NDP baseline (paper Fig. 2a): gather everything to the cores.
+//!
+//! Every referenced vector — repeats included — is read from DRAM and
+//! transferred to the cores, which perform all `n × (q−1) × v` reduction
+//! operations in software. This is the `c × m` all-to-all organization the
+//! paper starts from.
+
+use fafnir_core::batch::Batch;
+use fafnir_core::placement::EmbeddingSource;
+use fafnir_core::{FafnirError, ReduceOp};
+use fafnir_mem::{MemoryConfig, MemorySystem, Request};
+
+use crate::model::{CoreModel, LookupEngine, LookupOutcome};
+
+/// Processor-centric baseline: no near-data processing at all.
+#[derive(Debug, Clone, Copy)]
+pub struct NoNdpEngine {
+    mem_config: MemoryConfig,
+    core: CoreModel,
+    op: ReduceOp,
+}
+
+impl NoNdpEngine {
+    /// Builds the baseline over the given memory system and core model.
+    #[must_use]
+    pub fn new(mem_config: MemoryConfig, core: CoreModel, op: ReduceOp) -> Self {
+        Self { mem_config, core, op }
+    }
+
+    /// The paper's configuration with default core model and sum reduction.
+    #[must_use]
+    pub fn paper_default(mem_config: MemoryConfig) -> Self {
+        Self::new(mem_config, CoreModel::server_cpu(), ReduceOp::Sum)
+    }
+}
+
+impl LookupEngine for NoNdpEngine {
+    fn name(&self) -> &'static str {
+        "no-ndp"
+    }
+
+    fn lookup<S: EmbeddingSource>(
+        &self,
+        batch: &Batch,
+        source: &S,
+    ) -> Result<LookupOutcome, FafnirError> {
+        if batch.is_empty() {
+            return Err(FafnirError::InvalidBatch("batch has no queries".into()));
+        }
+        let vector_bytes = source.vector_dim() * 4;
+        let mut memory = MemorySystem::new(self.mem_config);
+        // One read per reference; repeats are separate reads (no dedup, no
+        // cache).
+        let mut read_count: u64 = 0;
+        for query in batch.queries() {
+            for index in query.indices.iter() {
+                let location = source.location_of(index);
+                let addr = self.mem_config.mapping.encode(location, &self.mem_config.topology);
+                memory.submit(Request::read(addr.value(), vector_bytes));
+                read_count += 1;
+            }
+        }
+        let last = memory.run_until_idle();
+        let memory_ns = self.mem_config.timing.cycles_to_ns(last);
+
+        // Core-side reduction: every query folds q vectors into one.
+        let partials: u64 = batch.total_references() as u64;
+        let outputs = batch.len() as u64;
+        let compute_ns = self.core.reduce_ns(partials, outputs, source.vector_dim());
+
+        // Functional outputs via the software reference (that is literally
+        // what this baseline does).
+        let outputs_vec = fafnir_core::engine::reference_lookup(batch, source, self.op);
+
+        let dim = source.vector_dim() as u64;
+        Ok(LookupOutcome {
+            outputs: outputs_vec,
+            total_ns: memory_ns + compute_ns,
+            memory_ns,
+            compute_ns,
+            compute_throughput_ns: compute_ns,
+            // The reads themselves deliver the data to the cores.
+            host_transfer_ns: 0.0,
+            memory: memory.stats(),
+            vectors_read: read_count,
+            bytes_to_host: read_count * vector_bytes as u64,
+            ndp_elem_ops: 0,
+            core_elem_ops: (partials - outputs) * dim,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::assert_outputs_match;
+    use fafnir_core::indexset;
+    use fafnir_core::StripedSource;
+
+    fn setup() -> (NoNdpEngine, StripedSource) {
+        let mem = MemoryConfig::ddr4_2400_4ch();
+        (NoNdpEngine::paper_default(mem), StripedSource::new(mem.topology, 128))
+    }
+
+    #[test]
+    fn outputs_match_reference() {
+        let (engine, source) = setup();
+        let batch = Batch::from_index_sets([indexset![1, 2, 5, 6], indexset![3, 4, 5]]);
+        let outcome = engine.lookup(&batch, &source).unwrap();
+        assert_outputs_match(&outcome, &batch, &source, ReduceOp::Sum);
+    }
+
+    #[test]
+    fn reads_every_reference_and_moves_everything() {
+        let (engine, source) = setup();
+        let batch = Batch::from_index_sets([indexset![1, 2, 5], indexset![3, 4, 5]]);
+        let outcome = engine.lookup(&batch, &source).unwrap();
+        assert_eq!(outcome.vectors_read, 6); // v5 read twice
+        assert_eq!(outcome.bytes_to_host, 6 * 512);
+        assert_eq!(outcome.ndp_elem_ops, 0);
+        assert_eq!(outcome.core_elem_ops, 4 * 128); // (6 − 2) combines × 128
+    }
+
+    #[test]
+    fn empty_batch_is_rejected() {
+        let (engine, source) = setup();
+        assert!(engine.lookup(&Batch::new(), &source).is_err());
+    }
+
+    #[test]
+    fn compute_follows_memory() {
+        let (engine, source) = setup();
+        let batch = Batch::from_index_sets([indexset![1, 2, 5, 6]]);
+        let outcome = engine.lookup(&batch, &source).unwrap();
+        assert!(outcome.total_ns > outcome.memory_ns);
+        assert!(outcome.compute_ns > 0.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Figure 9: SpMV iterations, rounds per iteration, and required merges as
+//! the column count grows to 20 million, for vector sizes 1024 and 2048.
+//!
+//! Paper claim: even beyond 5 million columns, no more than two merge
+//! stages are required.
+
+use fafnir_bench::{banner, print_table};
+use fafnir_sparse::SpmvPlan;
+
+fn main() {
+    banner(
+        "Figure 9 — iterations and rounds for large-matrix SpMV",
+        "no more than two merge iterations even at 20 M columns (vector size 2048)",
+    );
+    let columns = [
+        1_000usize, 10_000, 100_000, 1_000_000, 5_000_000, 10_000_000, 20_000_000,
+    ];
+    for vector_size in [1024usize, 2048] {
+        println!("vector size = {vector_size}");
+        let rows: Vec<Vec<String>> = columns
+            .iter()
+            .map(|&cols| {
+                let plan = SpmvPlan::new(cols, vector_size);
+                vec![
+                    cols.to_string(),
+                    plan.iterations().to_string(),
+                    plan.merge_iterations().to_string(),
+                    format!("{:?}", plan.rounds_per_iteration),
+                ]
+            })
+            .collect();
+        print_table(&["columns", "iterations", "merges", "rounds/iteration"], &rows);
+        println!();
+    }
+    // The headline invariant.
+    assert!(SpmvPlan::paper(20_000_000).merge_iterations() <= 2);
+}

@@ -1,0 +1,65 @@
+//! Figure 11: single-query latency breakdown (memory vs computation).
+//!
+//! One query of 16 × 512 B vectors over 32 ranks. Paper claims:
+//! * TensorDIMM's memory phase ≈ 4.45× RecNMP/FAFNIR (row-buffer loss),
+//! * TensorDIMM's computation ≈ 2.5× FAFNIR (pipeline vs tree),
+//! * RecNMP's computation exceeds FAFNIR's (≈25 % forwarded to the CPU),
+//! * RecNMP and FAFNIR have identical memory latency.
+
+use fafnir_baselines::LookupEngine;
+use fafnir_bench::{banner, engines, ns, paper_memory, print_table, times};
+use fafnir_core::{Batch, IndexSet, StripedSource, VectorIndex};
+
+fn main() {
+    banner(
+        "Figure 11 — single-query latency breakdown",
+        "TensorDIMM memory ~4.45x RecNMP/FAFNIR; TensorDIMM compute ~2.5x FAFNIR",
+    );
+    let mem = paper_memory();
+    let source = StripedSource::new(mem.topology, 128);
+    // 16 pseudo-random indices spread over the 32 ranks.
+    let batch = Batch::from_index_sets([IndexSet::from_iter_dedup(
+        (0..16u32).map(|i| VectorIndex(i * 37 + 5)),
+    )]);
+    let (fafnir, recnmp, tensordimm, _) = engines(mem);
+
+    let fafnir_outcome = fafnir.lookup(&batch, &source).expect("fafnir lookup");
+    let recnmp_outcome = recnmp.lookup(&batch, &source).expect("recnmp lookup");
+    let tensordimm_outcome = tensordimm.lookup(&batch, &source).expect("tensordimm lookup");
+
+    let rows = vec![
+        row("fafnir", &fafnir_outcome),
+        row("recnmp", &recnmp_outcome),
+        row("tensordimm", &tensordimm_outcome),
+    ];
+    print_table(&["engine", "memory", "compute", "total", "NDP share"], &rows);
+
+    println!();
+    println!(
+        "memory ratio tensordimm/recnmp : {}",
+        times(tensordimm_outcome.memory_ns / recnmp_outcome.memory_ns)
+    );
+    println!(
+        "compute ratio tensordimm/fafnir: {}",
+        times(tensordimm_outcome.compute_ns / fafnir_outcome.compute_ns)
+    );
+    println!(
+        "compute ratio recnmp/fafnir    : {}",
+        times(recnmp_outcome.compute_ns / fafnir_outcome.compute_ns)
+    );
+    println!(
+        "memory ratio recnmp/fafnir     : {}",
+        times(recnmp_outcome.memory_ns / fafnir_outcome.memory_ns)
+    );
+    println!("\npaper: 4.45x, 2.5x, >1x, ~1x respectively");
+}
+
+fn row(name: &str, outcome: &fafnir_baselines::LookupOutcome) -> Vec<String> {
+    vec![
+        name.into(),
+        ns(outcome.memory_ns),
+        ns(outcome.compute_ns),
+        ns(outcome.total_ns),
+        format!("{:.0} %", outcome.ndp_fraction() * 100.0),
+    ]
+}

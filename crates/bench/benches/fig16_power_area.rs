@@ -1,0 +1,76 @@
+//! Figure 16 and Tables V–VI: FPGA utilization/power and 7 nm ASIC
+//! area/power.
+
+use fafnir_bench::{banner, print_table};
+use fafnir_core::model::area_power::{AsicModel, PePowerBreakdown};
+use fafnir_core::model::connections::ConnectionModel;
+use fafnir_core::model::fpga::{FpgaDeployment, FpgaDevice};
+
+fn main() {
+    banner(
+        "Fig. 16 / Tables V-VI — power and area",
+        "23.82 mW per 4 DIMMs, 111.64 mW per 4-channel system, ~1.25 mm² total at 7 nm",
+    );
+
+    println!("Table V — XCVU9P utilization (4 DIMM/rank nodes + 1 channel node):");
+    let device = FpgaDevice::xcvu9p();
+    let deployment = FpgaDeployment::paper_system();
+    let [luts, lutrams, ffs, brams] = deployment.utilization(&device);
+    let rows = vec![
+        vec!["LUT".into(), format!("{:.2} %", luts * 100.0)],
+        vec!["LUTRAM".into(), format!("{:.3} %", lutrams * 100.0)],
+        vec!["FF".into(), format!("{:.2} %", ffs * 100.0)],
+        vec!["BRAM".into(), format!("{:.1} %", brams * 100.0)],
+    ];
+    print_table(&["resource", "used"], &rows);
+    println!(
+        "FPGA dynamic power: {:.2} W total (0.23 W/DIMM-rank node, 0.18 W/channel node)\n",
+        deployment.dynamic_power_w()
+    );
+
+    println!("Table VI — 7 nm ASIC:");
+    let asic = AsicModel::asap7();
+    let rows = vec![
+        vec![
+            "PE (standalone chip)".into(),
+            format!("{:.4} mm²", asic.pe_chip_area_mm2),
+            format!("{:.2} mW", asic.pe_power_mw),
+        ],
+        vec![
+            "DIMM/rank node (7 PEs)".into(),
+            format!("{:.3} mm²", asic.dimm_rank_node_area_mm2),
+            format!("{:.2} mW", asic.dimm_rank_node_power_mw()),
+        ],
+        vec![
+            "channel node (3 PEs)".into(),
+            format!("{:.3} mm²", asic.channel_node_area_mm2),
+            format!("{:.2} mW", asic.channel_node_power_mw()),
+        ],
+        vec![
+            "4-channel system".into(),
+            format!("{:.2} mm²", asic.system_area_mm2(4, 1)),
+            format!("{:.2} mW", asic.four_channel_system_power_mw()),
+        ],
+    ];
+    print_table(&["component", "area", "power"], &rows);
+    println!("per-DIMM added power: {:.1} mW (vs RecNMP's 184.2 mW/DIMM at 40 nm)\n", asic.per_dimm_power_mw());
+
+    println!("Fig. 16b — PE power distribution (uniform, no hot spot):");
+    let breakdown = PePowerBreakdown::paper();
+    let rows = vec![
+        vec!["buffers".into(), format!("{:.0} %", breakdown.buffers * 100.0)],
+        vec!["compute units".into(), format!("{:.0} %", breakdown.compute * 100.0)],
+        vec!["merge unit".into(), format!("{:.0} %", breakdown.merge * 100.0)],
+        vec!["clock + control".into(), format!("{:.0} %", breakdown.clock_control * 100.0)],
+    ];
+    print_table(&["component", "share"], &rows);
+
+    println!("\nconnection counts (Sec. IV-A), 32 ranks / 4 cores:");
+    let connections = ConnectionModel::new(32, 4);
+    let rows = vec![
+        vec!["all-to-all (baselines)".into(), connections.all_to_all().to_string()],
+        vec!["fafnir tree".into(), connections.fafnir_tree().to_string()],
+        vec!["savings".into(), format!("{:.2}x", connections.savings_factor())],
+    ];
+    print_table(&["organization", "connections"], &rows);
+}

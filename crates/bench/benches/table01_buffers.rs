@@ -1,0 +1,27 @@
+//! Table I: total buffer sizes of PEs and nodes per batch size.
+
+use fafnir_bench::{banner, print_table};
+use fafnir_core::model::buffers::BufferModel;
+
+fn main() {
+    banner(
+        "Table I — PE and node buffer sizes",
+        "entry = 512 B value + 10 B header; node buffers scale 7x (DIMM/rank) and 3x (channel)",
+    );
+    let rows: Vec<Vec<String>> = [8usize, 16, 32]
+        .iter()
+        .map(|&batch| {
+            let model = BufferModel::paper(batch);
+            vec![
+                batch.to_string(),
+                format!("{} B", model.entry_bytes()),
+                format!("{:.1} KB", model.pe_buffer_kb()),
+                format!("{:.1} KB", model.dimm_rank_node_kb()),
+                format!("{:.1} KB", model.channel_node_kb()),
+            ]
+        })
+        .collect();
+    print_table(&["B", "entry", "PE buffer", "DIMM/rank node", "channel node"], &rows);
+    println!("\nmax PE outputs: min(nm + n + m, B), e.g. n=m=4, B=32 -> {}",
+        BufferModel::paper(32).max_outputs(4, 4));
+}

@@ -1,0 +1,38 @@
+//! Table IV: latency of the compute-unit components (cycles @200 MHz).
+//!
+//! Also verifies the claim that the critical path is compare + reduce
+//! (reduce and forward run as parallel paths, reduce being slower).
+
+use fafnir_bench::{banner, print_table};
+use fafnir_core::PeTiming;
+
+fn main() {
+    banner(
+        "Table IV — PE compute-unit latencies @200 MHz",
+        "critical path = compare + reduce (reduce and forward are parallel paths)",
+    );
+    let timing = PeTiming::fpga_200mhz();
+    let rows = vec![
+        vec!["compare".into(), timing.compare_cycles.to_string()],
+        vec!["reduce (value)".into(), timing.reduce_value_cycles.to_string()],
+        vec!["reduce (header)".into(), timing.reduce_header_cycles.to_string()],
+        vec!["forward".into(), timing.forward_cycles.to_string()],
+        vec!["merge".into(), timing.merge_cycles.to_string()],
+    ];
+    print_table(&["operation", "cycles"], &rows);
+    println!();
+    let rows = vec![
+        vec![
+            "reduce path (critical)".into(),
+            timing.reduce_path_cycles().to_string(),
+            format!("{:.0} ns", timing.reduce_latency_ns()),
+        ],
+        vec![
+            "forward path".into(),
+            timing.forward_path_cycles().to_string(),
+            format!("{:.0} ns", timing.forward_latency_ns()),
+        ],
+    ];
+    print_table(&["path", "cycles", "latency (incl. merge)"], &rows);
+    assert!(timing.reduce_path_cycles() > timing.forward_path_cycles());
+}

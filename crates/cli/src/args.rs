@@ -1,0 +1,140 @@
+//! Minimal dependency-free argument parsing: `--key value` flags and
+//! `--switch` booleans after a subcommand.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus its flags.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ParsedArgs {
+    /// The subcommand (first non-flag token).
+    pub command: String,
+    /// `--key value` pairs.
+    values: BTreeMap<String, String>,
+    /// Bare `--switch` flags.
+    switches: Vec<String>,
+}
+
+/// A malformed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Flags that never take a value.
+const SWITCHES: &[&str] = &["no-dedup", "interactive", "refresh", "help"];
+
+impl ParsedArgs {
+    /// Parses tokens (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] for missing subcommands, dangling flags, or
+    /// repeated keys.
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Result<Self, ArgError> {
+        let mut tokens = tokens.into_iter().peekable();
+        let command = tokens
+            .next()
+            .ok_or_else(|| ArgError("missing subcommand (try `fafnir help`)".into()))?;
+        if command.starts_with("--") {
+            if command == "--help" {
+                return Ok(Self { command: "help".into(), ..Self::default() });
+            }
+            return Err(ArgError(format!("expected a subcommand, got flag `{command}`")));
+        }
+        let mut parsed = Self { command, ..Self::default() };
+        while let Some(token) = tokens.next() {
+            let Some(key) = token.strip_prefix("--") else {
+                return Err(ArgError(format!("unexpected positional argument `{token}`")));
+            };
+            if SWITCHES.contains(&key) {
+                parsed.switches.push(key.to_string());
+                continue;
+            }
+            let value = tokens
+                .next()
+                .ok_or_else(|| ArgError(format!("flag `--{key}` needs a value")))?;
+            if parsed.values.insert(key.to_string(), value).is_some() {
+                return Err(ArgError(format!("flag `--{key}` given twice")));
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// String value of `key`, or `default`.
+    #[must_use]
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.values.get(key).map_or(default, String::as_str)
+    }
+
+    /// Optional string value.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Parsed numeric value of `key`, or `default`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError`] when the value does not parse as `T`.
+    pub fn number_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| ArgError(format!("flag `--{key}`: `{raw}` is not a valid number"))),
+        }
+    }
+
+    /// Whether a bare switch was given.
+    #[must_use]
+    pub fn switch(&self, key: &str) -> bool {
+        self.switches.iter().any(|s| s == key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(line: &str) -> Result<ParsedArgs, ArgError> {
+        ParsedArgs::parse(line.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_command_flags_and_switches() {
+        let args = parse("lookup --batch 32 --skew 1.15 --no-dedup").unwrap();
+        assert_eq!(args.command, "lookup");
+        assert_eq!(args.number_or("batch", 0usize).unwrap(), 32);
+        assert_eq!(args.get_or("skew", "1.0"), "1.15");
+        assert!(args.switch("no-dedup"));
+        assert!(!args.switch("interactive"));
+    }
+
+    #[test]
+    fn defaults_apply_when_flags_absent() {
+        let args = parse("lookup").unwrap();
+        assert_eq!(args.number_or("batch", 16usize).unwrap(), 16);
+        assert_eq!(args.get_or("engine", "all"), "all");
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(parse("").unwrap_err().0.contains("subcommand"));
+        assert!(parse("lookup --batch").unwrap_err().0.contains("needs a value"));
+        assert!(parse("lookup stray").unwrap_err().0.contains("positional"));
+        assert!(parse("lookup --batch 1 --batch 2").unwrap_err().0.contains("twice"));
+        assert!(parse("lookup --batch x").unwrap().number_or("batch", 0usize).is_err());
+    }
+
+    #[test]
+    fn help_flag_becomes_help_command() {
+        assert_eq!(parse("--help").unwrap().command, "help");
+    }
+}

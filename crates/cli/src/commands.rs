@@ -1,0 +1,544 @@
+//! The CLI subcommands: each takes parsed flags and returns its report as a
+//! string (so the logic is unit-testable without capturing stdout).
+
+use fafnir_baselines::{
+    FafnirLookup, LookupEngine, LookupOutcome, NoNdpEngine, RecNmpEngine, TensorDimmEngine,
+};
+use fafnir_core::model::report::DeploymentSummary;
+use fafnir_core::{FafnirConfig, StripedSource};
+use fafnir_mem::MemoryConfig;
+use fafnir_sparse::{fafnir_spmv, gen, two_step, LilMatrix, SpmvTiming};
+use fafnir_workloads::query::{BatchGenerator, Popularity};
+use fafnir_workloads::trace::QueryTrace;
+
+use crate::args::{ArgError, ParsedArgs};
+
+/// Runs the parsed command, returning the printable report.
+///
+/// # Errors
+///
+/// Returns [`ArgError`] for unknown commands or invalid flag values.
+pub fn run(args: &ParsedArgs) -> Result<String, ArgError> {
+    match args.command.as_str() {
+        "lookup" => lookup(args),
+        "spmv" => spmv(args),
+        "report" => report(args),
+        "trace" => trace(args),
+        "anatomy" => anatomy(args),
+        "energy" => energy(args),
+        "selftest" => selftest(args),
+        "help" => Ok(usage()),
+        other => Err(ArgError(format!("unknown command `{other}` (try `fafnir help`)"))),
+    }
+}
+
+/// The usage text.
+#[must_use]
+pub fn usage() -> String {
+    "fafnir — FAFNIR (HPCA 2021) reproduction CLI\n\
+     \n\
+     USAGE: fafnir <command> [flags]\n\
+     \n\
+     COMMANDS\n\
+       lookup   run an embedding-lookup batch through the engines\n\
+                --batch N (32) --query-len Q (16) --skew S (1.15)\n\
+                --universe U (2000) --ranks R (32) --seed X (7)\n\
+                --engine fafnir|recnmp|tensordimm|no-ndp|all (all)\n\
+                --no-dedup --interactive --refresh\n\
+       spmv     run y = A·x on FAFNIR and the Two-Step baseline\n\
+                --gen uniform|rmat|banded|spd (rmat) --rows N (4096)\n\
+                --density D (0.01, uniform) --nnz N (rows*8, rmat)\n\
+                --bandwidth B (4, banded/spd) --vector-size V (2048)\n\
+                --seed X (7)\n\
+       report   print the deployment summary\n\
+                --ranks R (32) --ratio 1|2|4 (2) --cores C (4)\n\
+       trace    record or characterize query traces\n\
+                --record N (write N queries to stdout as text)\n\
+                --stats FILE (reuse statistics of a trace file)\n\
+                --skew S --universe U --query-len Q --seed X\n\
+       help     this text\n"
+        .to_string()
+}
+
+fn memory_for(ranks: usize) -> Result<MemoryConfig, ArgError> {
+    if ranks == 0 || !ranks.is_power_of_two() || ranks > 64 {
+        return Err(ArgError(format!("--ranks must be a power of two ≤ 64, got {ranks}")));
+    }
+    Ok(MemoryConfig::with_total_ranks(ranks))
+}
+
+fn outcome_row(name: &str, outcome: &LookupOutcome) -> String {
+    format!(
+        "{name:<12} {:>10.2} us {:>12} {:>14} B {:>9.0} %\n",
+        outcome.total_ns / 1e3,
+        outcome.vectors_read,
+        outcome.bytes_to_host,
+        outcome.ndp_fraction() * 100.0
+    )
+}
+
+fn lookup(args: &ParsedArgs) -> Result<String, ArgError> {
+    let batch_size: usize = args.number_or("batch", 32)?;
+    let query_len: usize = args.number_or("query-len", 16)?;
+    let skew: f64 = args.number_or("skew", 1.15)?;
+    let universe: u64 = args.number_or("universe", 2_000)?;
+    let ranks: usize = args.number_or("ranks", 32)?;
+    let seed: u64 = args.number_or("seed", 7)?;
+    let engine_choice = args.get_or("engine", "all");
+    if batch_size == 0 || query_len == 0 {
+        return Err(ArgError("--batch and --query-len must be non-zero".into()));
+    }
+
+    let mut mem = memory_for(ranks)?;
+    mem.refresh = args.switch("refresh");
+    let source = StripedSource::new(mem.topology, 128);
+    let popularity = if skew == 0.0 {
+        Popularity::Uniform
+    } else {
+        Popularity::Zipf { exponent: skew }
+    };
+    let mut generator = BatchGenerator::new(popularity, universe, query_len, seed);
+    let batch = generator.batch(batch_size);
+
+    let mut out = format!(
+        "lookup: {batch_size} queries x {query_len} indices over {ranks} ranks \
+         ({:.0} % unique)\n",
+        batch.unique_fraction() * 100.0
+    );
+    out.push_str(&format!(
+        "{:<12} {:>13} {:>12} {:>16} {:>10}\n",
+        "engine", "latency", "DRAM reads", "bytes to host", "NDP share"
+    ));
+
+    let config = FafnirConfig {
+        ranks_per_leaf: ranks.min(2),
+        dedup: !args.switch("no-dedup"),
+        ..FafnirConfig::paper_default()
+    };
+    let wants = |name: &str| engine_choice == "all" || engine_choice == name;
+    if wants("fafnir") {
+        let engine = FafnirLookup::new(config, mem)
+            .map_err(|e| ArgError(format!("fafnir configuration: {e}")))?;
+        let outcome = if args.switch("interactive") {
+            let result = engine
+                .engine()
+                .lookup_interactive(&batch, &source)
+                .map_err(|e| ArgError(e.to_string()))?;
+            out.push_str(&format!(
+                "{:<12} {:>10.2} us {:>12} {:>14} B {:>9} %\n",
+                "fafnir*",
+                result.latency.total_ns / 1e3,
+                result.traffic.vectors_read,
+                result.traffic.bytes_to_host,
+                100
+            ));
+            None
+        } else {
+            Some(engine.lookup(&batch, &source).map_err(|e| ArgError(e.to_string()))?)
+        };
+        if let Some(outcome) = outcome {
+            out.push_str(&outcome_row("fafnir", &outcome));
+        }
+    }
+    if wants("recnmp") {
+        let outcome = RecNmpEngine::paper_default(mem)
+            .lookup(&batch, &source)
+            .map_err(|e| ArgError(e.to_string()))?;
+        out.push_str(&outcome_row("recnmp", &outcome));
+    }
+    if wants("tensordimm") {
+        let outcome = TensorDimmEngine::paper_default(mem)
+            .lookup(&batch, &source)
+            .map_err(|e| ArgError(e.to_string()))?;
+        out.push_str(&outcome_row("tensordimm", &outcome));
+    }
+    if wants("no-ndp") {
+        let outcome = NoNdpEngine::paper_default(mem)
+            .lookup(&batch, &source)
+            .map_err(|e| ArgError(e.to_string()))?;
+        out.push_str(&outcome_row("no-ndp", &outcome));
+    }
+    if args.switch("interactive") {
+        out.push_str("(* interactive mode: one query per hardware batch)\n");
+    }
+    Ok(out)
+}
+
+fn spmv(args: &ParsedArgs) -> Result<String, ArgError> {
+    let rows: usize = args.number_or("rows", 4_096)?;
+    let seed: u64 = args.number_or("seed", 7)?;
+    let vector_size: usize = args.number_or("vector-size", 2_048)?;
+    if rows == 0 || vector_size == 0 {
+        return Err(ArgError("--rows and --vector-size must be non-zero".into()));
+    }
+    let generator = args.get_or("gen", "rmat");
+    if let Some(path) = args.get("mtx") {
+        let matrix = fafnir_sparse::mtx::read_file(std::path::Path::new(path))
+            .map_err(|e| ArgError(e.to_string()))?;
+        return run_spmv_report(&matrix, "mtx file", vector_size);
+    }
+    let matrix = match generator {
+        "uniform" => {
+            let density: f64 = args.number_or("density", 0.01)?;
+            gen::uniform(rows, rows, density, seed)
+        }
+        "rmat" => {
+            let scale = rows.next_power_of_two().trailing_zeros();
+            let nnz: usize = args.number_or("nnz", rows * 8)?;
+            gen::rmat(scale.max(1), nnz, seed)
+        }
+        "banded" => gen::banded(rows, args.number_or("bandwidth", 4)?, seed),
+        "spd" => gen::spd_banded(rows, args.number_or("bandwidth", 4)?, seed),
+        other => return Err(ArgError(format!("unknown generator `{other}`"))),
+    };
+    run_spmv_report(&matrix, generator, vector_size)
+}
+
+fn run_spmv_report(
+    matrix: &fafnir_sparse::CooMatrix,
+    generator: &str,
+    vector_size: usize,
+) -> Result<String, ArgError> {
+    let profile = fafnir_sparse::MatrixProfile::of(matrix);
+    let lil = LilMatrix::from(matrix);
+    let x = vec![1.0; matrix.cols()];
+    let timing = SpmvTiming::paper();
+    let fafnir = fafnir_spmv::execute(&lil, &x, vector_size);
+    let baseline = two_step::execute(&lil, &x, vector_size);
+    Ok(format!(
+        "spmv: `{generator}` matrix — {}\n\
+         spmv: {} x {} matrix, {} nnz (density {:.4} %)\n\
+         plan        : {:?} rounds per iteration ({} merge iterations)\n\
+         fafnir      : {:>10.2} us ({} multiplies, {} adds)\n\
+         two-step    : {:>10.2} us\n\
+         speedup     : {:.2}x\n",
+        profile.summary(),
+        matrix.rows(),
+        matrix.cols(),
+        matrix.nnz(),
+        matrix.density() * 100.0,
+        fafnir.plan.rounds_per_iteration,
+        fafnir.plan.merge_iterations(),
+        timing.fafnir_ns(&fafnir) / 1e3,
+        fafnir.ops.multiplies,
+        fafnir.ops.adds,
+        timing.two_step_ns(&baseline) / 1e3,
+        two_step::speedup(&timing, &fafnir, &baseline),
+    ))
+}
+
+fn report(args: &ParsedArgs) -> Result<String, ArgError> {
+    let ranks: usize = args.number_or("ranks", 32)?;
+    let ratio: usize = args.number_or("ratio", 2)?;
+    let cores: usize = args.number_or("cores", 4)?;
+    let _ = memory_for(ranks)?;
+    let config = FafnirConfig { ranks_per_leaf: ratio, ..FafnirConfig::paper_default() };
+    config.validate().map_err(|e| ArgError(e.to_string()))?;
+    if !ranks.is_multiple_of(ratio) || !(ranks / ratio).is_power_of_two() {
+        return Err(ArgError(format!("ranks {ranks} incompatible with ratio 1PE:{ratio}R")));
+    }
+    Ok(DeploymentSummary::new(&config, ranks, cores).render())
+}
+
+fn anatomy(args: &ParsedArgs) -> Result<String, ArgError> {
+    use fafnir_core::inject::{build_rank_inputs, GatheredVector};
+    use fafnir_core::{PeTiming, ReduceOp, ReductionTree};
+    let batch_size: usize = args.number_or("batch", 4)?;
+    let query_len: usize = args.number_or("query-len", 8)?;
+    let ranks: usize = args.number_or("ranks", 8)?;
+    let skew: f64 = args.number_or("skew", 1.15)?;
+    let universe: u64 = args.number_or("universe", 2_000)?;
+    let seed: u64 = args.number_or("seed", 7)?;
+    let _ = memory_for(ranks)?;
+    let config = FafnirConfig {
+        vector_dim: 8,
+        ranks_per_leaf: ranks.min(2),
+        ..FafnirConfig::paper_default()
+    };
+    let tree = ReductionTree::new(config, ranks).map_err(|e| ArgError(e.to_string()))?;
+    let mut generator = BatchGenerator::new(
+        if skew == 0.0 { Popularity::Uniform } else { Popularity::Zipf { exponent: skew } },
+        universe,
+        query_len,
+        seed,
+    );
+    let batch = generator.batch(batch_size);
+    let gathered: Vec<GatheredVector> = batch
+        .unique_indices()
+        .iter()
+        .map(|index| GatheredVector {
+            index,
+            rank: index.value() as usize % ranks,
+            value: vec![1.0; 8],
+            ready_ns: 60.0 + f64::from(index.value() % 64),
+        })
+        .collect();
+    let inputs = build_rank_inputs(
+        &batch,
+        &gathered,
+        ranks,
+        config.ranks_per_leaf,
+        ReduceOp::Sum,
+        &PeTiming::default(),
+    );
+    let (run, trace) = tree.run_traced(inputs);
+    let mut out = format!(
+        "anatomy: {batch_size} queries x {query_len} indices over {ranks} ranks          ({} PEs, {} levels)
+
+",
+        tree.pe_count(),
+        tree.levels()
+    );
+    out.push_str(&trace.render_waterfall(56));
+    out.push_str("
+per-level roll-up (level, reduces, forwards, outputs):
+");
+    for (level, reduces, forwards, outputs) in trace.level_summary() {
+        out.push_str(&format!("  L{level}: r{reduces} f{forwards} out {outputs}
+"));
+    }
+    out.push_str(&format!(
+        "completion {:.0} ns, {} incomplete outputs
+",
+        run.stats.completion_ns, run.stats.incomplete_outputs
+    ));
+    Ok(out)
+}
+
+fn selftest(args: &ParsedArgs) -> Result<String, ArgError> {
+    use fafnir_core::{verify_engine, FafnirEngine};
+    let ranks: usize = args.number_or("ranks", 32)?;
+    let ratio: usize = args.number_or("ratio", 2)?;
+    let batch_count: usize = args.number_or("batches", 6)?;
+    let seed: u64 = args.number_or("seed", 7)?;
+    let mem = memory_for(ranks)?;
+    let config = FafnirConfig { ranks_per_leaf: ratio, ..FafnirConfig::paper_default() };
+    let engine = FafnirEngine::new(config, mem).map_err(|e| ArgError(e.to_string()))?;
+    let source = StripedSource::new(mem.topology, 128);
+    let mut generator =
+        BatchGenerator::new(Popularity::Zipf { exponent: 1.15 }, 2_000, 16, seed);
+    let batches: Vec<_> = (0..batch_count.max(1)).map(|_| generator.batch(16)).collect();
+    let report = verify_engine(&engine, &source, &batches);
+    Ok(format!("{}
+", report.summary()))
+}
+
+fn energy(args: &ParsedArgs) -> Result<String, ArgError> {
+    use fafnir_core::model::energy::TreeEnergyModel;
+    use fafnir_core::FafnirEngine;
+    use fafnir_mem::EnergyModel;
+    let batch_size: usize = args.number_or("batch", 32)?;
+    let query_len: usize = args.number_or("query-len", 16)?;
+    let skew: f64 = args.number_or("skew", 1.15)?;
+    let universe: u64 = args.number_or("universe", 2_000)?;
+    let seed: u64 = args.number_or("seed", 7)?;
+    let mem = MemoryConfig::ddr4_2400_4ch();
+    let source = StripedSource::new(mem.topology, 128);
+    let mut generator = BatchGenerator::new(
+        if skew == 0.0 { Popularity::Uniform } else { Popularity::Zipf { exponent: skew } },
+        universe,
+        query_len,
+        seed,
+    );
+    let batch = generator.batch(batch_size);
+    let dram_model = EnergyModel::ddr4();
+    let tree_model = TreeEnergyModel::asap7();
+    let mut out = format!(
+        "energy: {batch_size} queries x {query_len} indices ({:.0} % unique)\n",
+        batch.unique_fraction() * 100.0
+    );
+    for (name, dedup) in [("with dedup", true), ("without dedup", false)] {
+        let config = FafnirConfig { dedup, ..FafnirConfig::paper_default() };
+        let engine = FafnirEngine::new(config, mem).map_err(|e| ArgError(e.to_string()))?;
+        let result = engine.lookup(&batch, &source).map_err(|e| ArgError(e.to_string()))?;
+        let dram_nj = dram_model.dynamic_nj(&result.memory);
+        let tree_nj = tree_model.tree_energy_nj(&result.tree.ops);
+        out.push_str(&format!(
+            "  {name:<14} DRAM {dram_nj:>8.0} nJ + tree {tree_nj:>6.1} nJ = {:>8.0} nJ \
+             ({} vector reads)\n",
+            dram_nj + tree_nj,
+            result.traffic.vectors_read
+        ));
+    }
+    Ok(out)
+}
+
+fn trace(args: &ParsedArgs) -> Result<String, ArgError> {
+    if let Some(count) = args.get("record") {
+        let count: usize = count
+            .parse()
+            .map_err(|_| ArgError(format!("--record: `{count}` is not a number")))?;
+        let skew: f64 = args.number_or("skew", 1.15)?;
+        let universe: u64 = args.number_or("universe", 2_000)?;
+        let query_len: usize = args.number_or("query-len", 16)?;
+        let seed: u64 = args.number_or("seed", 7)?;
+        let mut generator = BatchGenerator::new(
+            if skew == 0.0 { Popularity::Uniform } else { Popularity::Zipf { exponent: skew } },
+            universe,
+            query_len,
+            seed,
+        );
+        return Ok(QueryTrace::record(&mut generator, count).to_text());
+    }
+    if let Some(path) = args.get("distances") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ArgError(format!("cannot read `{path}`: {e}")))?;
+        let trace = QueryTrace::from_text(&text).map_err(|e| ArgError(e.to_string()))?;
+        let distances = trace.reuse_distances();
+        let mut out = format!(
+            "reuse distances over {} references ({} cold):\n",
+            distances.references, distances.cold
+        );
+        for (bucket, &count) in distances.buckets.iter().enumerate() {
+            let low = if bucket == 0 { 0 } else { 1u64 << bucket };
+            let high = (1u64 << (bucket + 1)) - 1;
+            out.push_str(&format!("  [{low:>6}..{high:>6}] {count}\n"));
+        }
+        out.push_str("idealized LRU hit rate by cache size (vectors):\n");
+        for capacity in [64usize, 256, 1_024, 4_096] {
+            out.push_str(&format!(
+                "  {capacity:>5} entries ({:>4} KB at 512 B): {:.1} %\n",
+                capacity * 512 / 1024,
+                distances.lru_hit_rate(capacity) * 100.0
+            ));
+        }
+        return Ok(out);
+    }
+    if let Some(path) = args.get("stats") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ArgError(format!("cannot read `{path}`: {e}")))?;
+        let trace = QueryTrace::from_text(&text).map_err(|e| ArgError(e.to_string()))?;
+        let reuse = trace.reuse_stats(5);
+        let mut out = format!(
+            "trace: {} queries, {} references, {} distinct indices \
+             ({:.1} % unique)\nhottest indices:\n",
+            trace.len(),
+            reuse.references,
+            reuse.distinct,
+            reuse.unique_fraction() * 100.0
+        );
+        for (index, count) in &reuse.hottest {
+            out.push_str(&format!("  v{index:<8} {count} references\n"));
+        }
+        return Ok(out);
+    }
+    Err(ArgError("trace needs --record N, --stats FILE, or --distances FILE".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_line(line: &str) -> Result<String, ArgError> {
+        run(&ParsedArgs::parse(line.split_whitespace().map(String::from)).unwrap())
+    }
+
+    #[test]
+    fn lookup_reports_all_engines() {
+        let out = run_line("lookup --batch 4 --query-len 4 --seed 1").unwrap();
+        for name in ["fafnir", "recnmp", "tensordimm", "no-ndp"] {
+            assert!(out.contains(name), "missing {name} in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn lookup_single_engine_and_no_dedup() {
+        let out = run_line("lookup --batch 4 --query-len 4 --engine fafnir --no-dedup").unwrap();
+        assert!(out.contains("fafnir"));
+        assert!(!out.contains("recnmp"));
+    }
+
+    #[test]
+    fn lookup_interactive_mode_annotates() {
+        let out =
+            run_line("lookup --batch 2 --query-len 4 --engine fafnir --interactive").unwrap();
+        assert!(out.contains("fafnir*"));
+        assert!(out.contains("interactive mode"));
+    }
+
+    #[test]
+    fn lookup_rejects_bad_ranks() {
+        let error = run_line("lookup --ranks 3").unwrap_err();
+        assert!(error.0.contains("power of two"));
+    }
+
+    #[test]
+    fn spmv_runs_each_generator() {
+        for generator in ["uniform", "rmat", "banded", "spd"] {
+            let out = run_line(&format!("spmv --gen {generator} --rows 128 --seed 2")).unwrap();
+            assert!(out.contains("speedup"), "{generator}:\n{out}");
+        }
+        assert!(run_line("spmv --gen bogus").is_err());
+    }
+
+    #[test]
+    fn spmv_loads_matrix_market_files() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n2 2 2.0\n";
+        let path = std::env::temp_dir().join("fafnir-cli-test.mtx");
+        std::fs::write(&path, text).unwrap();
+        let out = run_line(&format!("spmv --mtx {}", path.display())).unwrap();
+        assert!(out.contains("2 x 2"), "{out}");
+        assert!(out.contains("speedup"));
+        std::fs::remove_file(&path).ok();
+        assert!(run_line("spmv --mtx /does/not/exist.mtx").is_err());
+    }
+
+    #[test]
+    fn report_matches_paper_floorplan() {
+        let out = run_line("report --ranks 32 --ratio 2").unwrap();
+        assert!(out.contains("31"));
+        assert!(out.contains("1.25 mm2"));
+        assert!(run_line("report --ranks 32 --ratio 3").is_err());
+    }
+
+    #[test]
+    fn trace_record_round_trips_through_stats() {
+        let text = run_line("trace --record 10 --query-len 4 --seed 3").unwrap();
+        let dir = std::env::temp_dir().join("fafnir-cli-test-trace.txt");
+        std::fs::write(&dir, &text).unwrap();
+        let out = run_line(&format!("trace --stats {}", dir.display())).unwrap();
+        assert!(out.contains("10 queries"));
+        assert!(out.contains("hottest"));
+        std::fs::remove_file(&dir).ok();
+    }
+
+    #[test]
+    fn trace_distances_prints_lru_curve() {
+        let text = run_line("trace --record 30 --query-len 8 --seed 5").unwrap();
+        let path = std::env::temp_dir().join("fafnir-cli-test-dist.txt");
+        std::fs::write(&path, &text).unwrap();
+        let out = run_line(&format!("trace --distances {}", path.display())).unwrap();
+        assert!(out.contains("LRU hit rate"), "{out}");
+        assert!(out.contains("256 entries"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn selftest_passes_on_valid_configs_and_fails_cleanly_on_bad_ones() {
+        let out = run_line("selftest --ranks 16 --ratio 2 --batches 2").unwrap();
+        assert!(out.starts_with("PASS"), "{out}");
+        assert!(run_line("selftest --ranks 16 --ratio 3").is_err());
+    }
+
+    #[test]
+    fn energy_reports_dedup_savings() {
+        let out = run_line("energy --batch 8 --query-len 8 --seed 4").unwrap();
+        assert!(out.contains("with dedup"), "{out}");
+        assert!(out.contains("without dedup"));
+        assert!(out.contains("nJ"));
+    }
+
+    #[test]
+    fn anatomy_renders_a_waterfall() {
+        let out = run_line("anatomy --batch 3 --query-len 4 --ranks 8 --seed 9").unwrap();
+        assert!(out.contains("L0 PE0"), "{out}");
+        assert!(out.contains("per-level roll-up"));
+        assert!(out.contains("0 incomplete"));
+    }
+
+    #[test]
+    fn unknown_command_suggests_help() {
+        assert!(run_line("frobnicate").unwrap_err().0.contains("help"));
+        assert!(run_line("help").unwrap().contains("USAGE"));
+    }
+}

@@ -1,0 +1,38 @@
+//! `fafnir` — command-line front end for the FAFNIR reproduction.
+//!
+//! ```sh
+//! fafnir lookup --batch 32 --skew 1.15
+//! fafnir spmv --gen rmat --rows 4096
+//! fafnir report --ranks 32
+//! fafnir trace --record 100 > trace.txt && fafnir trace --stats trace.txt
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match args::ParsedArgs::parse(tokens) {
+        Ok(parsed) => parsed,
+        Err(error) => {
+            eprintln!("error: {error}");
+            eprintln!("{}", commands::usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    match commands::run(&parsed) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(error) => {
+            eprintln!("error: {error}");
+            ExitCode::FAILURE
+        }
+    }
+}

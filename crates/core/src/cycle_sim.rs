@@ -1,0 +1,473 @@
+//! Cycle-stepped tree simulation with finite buffers and backpressure.
+//!
+//! The event-timed model in [`crate::tree`] assumes every PE buffer is
+//! large enough (Table I sizes them so). This simulator drops that
+//! assumption: PEs have FIFOs of a configurable capacity, outputs move to
+//! the parent only when space exists, and full buffers stall the producer.
+//! Running the same batch through both models checks two things:
+//!
+//! * with Table I-sized buffers (capacity ≥ B), the cycle simulation never
+//!   stalls and completes close to the event model's estimate, and
+//! * undersized buffers produce real stalls and longer completions — the
+//!   quantitative cost of shrinking Table I.
+//!
+//! Functional outputs are identical by construction: each PE's output set
+//! comes from the same [`crate::pe::ProcessingElement`] logic; the cycle
+//! simulation re-times their movement. PEs fire when their batch window is
+//! complete (the hardware's end-of-batch delimiter), then emit one item per
+//! initiation interval.
+//!
+//! A consequence of the window semantics: a PE cannot free its input FIFO
+//! until the whole window has arrived, so a window larger than the FIFO is
+//! not merely slow — it **deadlocks**. The simulator detects this and
+//! returns [`CycleSimError::Deadlock`]; Table I's `min(nm + n + m, B)`
+//! output bound is precisely the sizing that makes deadlock impossible.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::FafnirConfig;
+use crate::item::Item;
+use crate::pe::ProcessingElement;
+use crate::tree::ReductionTree;
+
+/// Why a cycle-stepped traversal could not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CycleSimError {
+    /// A PE's batch window exceeds its input FIFOs: the producer can never
+    /// drain and the consumer can never fire.
+    Deadlock {
+        /// Cycle at which progress stopped.
+        at_cycle: u64,
+        /// Configured per-side FIFO capacity.
+        fifo_capacity: usize,
+    },
+}
+
+impl std::fmt::Display for CycleSimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CycleSimError::Deadlock { at_cycle, fifo_capacity } => write!(
+                f,
+                "backpressure deadlock at cycle {at_cycle}: a batch window exceeds the \
+                 {fifo_capacity}-item FIFO (Table I sizes buffers to prevent exactly this)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CycleSimError {}
+
+/// Result of a cycle-stepped traversal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CycleRun {
+    /// Items emitted by the root, with `ready_ns` set from the cycle clock.
+    pub outputs: Vec<Item>,
+    /// Completion cycle (NDP clock).
+    pub completion_cycle: u64,
+    /// Completion in nanoseconds.
+    pub completion_ns: f64,
+    /// Total cycles any PE spent stalled on a full downstream FIFO.
+    pub stall_cycles: u64,
+    /// Largest FIFO occupancy observed anywhere (items).
+    pub max_occupancy: usize,
+}
+
+/// Per-PE state during the cycle loop.
+#[derive(Debug, Clone)]
+struct PeState {
+    /// Items queued on each input with their arrival cycles.
+    arrivals: Vec<(u64, Item, bool)>, // (cycle, item, is_side_b)
+    /// Expected input count (known once producers finish).
+    expected: Option<usize>,
+    /// Received so far.
+    received: usize,
+    /// Outputs awaiting transfer to the parent, with earliest-emit cycles.
+    pending_out: Vec<(u64, Item)>,
+    /// Current occupancy of this PE's input FIFOs.
+    occupancy: usize,
+    fired: bool,
+}
+
+/// A cycle-stepped simulator over the same topology as a
+/// [`ReductionTree`].
+///
+/// # Examples
+///
+/// ```
+/// use fafnir_core::cycle_sim::CycleTree;
+/// use fafnir_core::inject::{build_rank_inputs, GatheredVector};
+/// use fafnir_core::{indexset, Batch, FafnirConfig, PeTiming, ReduceOp, ReductionTree, VectorIndex};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let config = FafnirConfig { vector_dim: 4, ..FafnirConfig::paper_default() };
+/// let tree = ReductionTree::new(config, 4)?;
+/// let batch = Batch::from_index_sets([indexset![0, 3]]);
+/// let gathered: Vec<GatheredVector> = batch
+///     .unique_indices()
+///     .iter()
+///     .map(|index| GatheredVector {
+///         index,
+///         rank: index.value() as usize % 4,
+///         value: vec![1.0; 4],
+///         ready_ns: 0.0,
+///     })
+///     .collect();
+/// let inputs = build_rank_inputs(&batch, &gathered, 4, 2, ReduceOp::Sum, &PeTiming::default());
+/// let run = CycleTree::new(&tree, 8).run(inputs)?;
+/// assert_eq!(run.stall_cycles, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CycleTree {
+    config: FafnirConfig,
+    leaf_count: usize,
+    /// Input-FIFO capacity per PE side, in items.
+    fifo_capacity: usize,
+}
+
+impl CycleTree {
+    /// Builds a cycle simulator matching `tree`, with `fifo_capacity` items
+    /// per PE input side (Table I sizes this as the batch capacity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fifo_capacity` is zero.
+    #[must_use]
+    pub fn new(tree: &ReductionTree, fifo_capacity: usize) -> Self {
+        assert!(fifo_capacity > 0, "FIFO capacity must be non-zero");
+        Self { config: *tree.config(), leaf_count: tree.leaf_count(), fifo_capacity }
+    }
+
+    /// Runs one batch; `rank_inputs` as in [`ReductionTree::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycleSimError::Deadlock`] when a batch window exceeds the
+    /// FIFO capacity (see the module docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input list length does not match the topology.
+    pub fn run(&self, rank_inputs: Vec<Vec<Item>>) -> Result<CycleRun, CycleSimError> {
+        assert_eq!(
+            rank_inputs.len(),
+            self.leaf_count * self.config.ranks_per_leaf,
+            "one input list per rank required"
+        );
+        let pe = ProcessingElement { op: self.config.op, timing: self.config.pe_timing };
+        let cycle_ns = self.config.pe_timing.cycle_ns();
+        let total_pes = 2 * self.leaf_count - 1;
+        // PE ids: level-major, leaves first: leaf i = i; next level starts at
+        // leaf_count, etc. Parent of PE p (within level arrays) computed via
+        // level arithmetic below.
+        let mut states: Vec<PeState> = (0..total_pes)
+            .map(|_| PeState {
+                arrivals: Vec::new(),
+                expected: None,
+                received: 0,
+                pending_out: Vec::new(),
+                occupancy: 0,
+                fired: false,
+            })
+            .collect();
+
+        // Inject leaf items at their memory-ready cycles.
+        let mut injected = 0usize;
+        for (leaf, ranks) in rank_inputs.chunks(self.config.ranks_per_leaf).enumerate() {
+            let half = ranks.len().div_ceil(2);
+            for (side_index, rank_items) in ranks.iter().enumerate() {
+                let is_b = side_index >= half;
+                for item in rank_items {
+                    let cycle = (item.ready_ns / cycle_ns).ceil() as u64;
+                    states[leaf].arrivals.push((cycle, item.clone(), is_b));
+                    states[leaf].received += 1;
+                    injected += 1;
+                }
+            }
+            states[leaf].expected = Some(states[leaf].received);
+        }
+        let _ = injected;
+
+        // Level bookkeeping: (start index, count) per level.
+        let mut levels: Vec<(usize, usize)> = Vec::new();
+        let mut start = 0usize;
+        let mut count = self.leaf_count;
+        while count >= 1 {
+            levels.push((start, count));
+            if count == 1 {
+                break;
+            }
+            start += count;
+            count /= 2;
+        }
+
+        let link_cycles = (self.config.link_transfer_ns() / cycle_ns).ceil() as u64;
+        let reduce_cycles = self.config.pe_timing.reduce_path_cycles()
+            + self.config.pe_timing.merge_cycles;
+        let interval = self.config.pe_timing.output_interval_cycles.max(1);
+
+        let mut stall_cycles = 0u64;
+        let mut max_occupancy = 0usize;
+        let mut root_outputs: Vec<(u64, Item)> = Vec::new();
+        let mut cycle: u64 = 0;
+        loop {
+            let mut all_drained = true;
+            let mut made_progress = false;
+            for (level_pos, &(level_start, level_count)) in levels.iter().enumerate() {
+                for pe_index in 0..level_count {
+                    let id = level_start + pe_index;
+                    // Fire when the batch window is complete.
+                    if !states[id].fired {
+                        let complete = states[id]
+                            .expected
+                            .is_some_and(|expected| states[id].received >= expected)
+                            && states[id]
+                                .arrivals
+                                .iter()
+                                .all(|&(arrival, _, _)| arrival <= cycle);
+                        if complete {
+                            made_progress = true;
+                            let state = &mut states[id];
+                            state.fired = true;
+                            let (a, b): (Vec<_>, Vec<_>) =
+                                state.arrivals.drain(..).partition(|&(_, _, is_b)| !is_b);
+                            let a: Vec<Item> = a.into_iter().map(|(_, item, _)| item).collect();
+                            let b: Vec<Item> = b.into_iter().map(|(_, item, _)| item).collect();
+                            let (outputs, _) = pe.process(&a, &b);
+                            state.occupancy = 0;
+                            for (position, item) in outputs.into_iter().enumerate() {
+                                let emit =
+                                    cycle + reduce_cycles + position as u64 * interval;
+                                state.pending_out.push((emit, item));
+                            }
+                        } else {
+                            all_drained = false;
+                        }
+                    }
+                    // Move due outputs toward the parent (or the host).
+                    if states[id].pending_out.is_empty() {
+                        continue;
+                    }
+                    all_drained = false;
+                    let is_root = level_count == 1;
+                    let parent_id = if is_root {
+                        None
+                    } else {
+                        let (next_start, _) = levels[level_pos + 1];
+                        Some(next_start + pe_index / 2)
+                    };
+                    // One item per cycle per output port.
+                    let due = states[id]
+                        .pending_out
+                        .first()
+                        .is_some_and(|&(emit, _)| emit <= cycle);
+                    if !due {
+                        continue;
+                    }
+                    match parent_id {
+                        None => {
+                            let (_, item) = states[id].pending_out.remove(0);
+                            root_outputs.push((cycle, item));
+                            made_progress = true;
+                        }
+                        Some(parent) => {
+                            if states[parent].occupancy >= 2 * self.fifo_capacity {
+                                stall_cycles += 1; // backpressure
+                            } else {
+                                let (_, mut item) = states[id].pending_out.remove(0);
+                                let arrival = cycle + link_cycles;
+                                item.ready_ns = arrival as f64 * cycle_ns;
+                                let is_b = pe_index % 2 == 1;
+                                states[parent].arrivals.push((arrival, item, is_b));
+                                states[parent].received += 1;
+                                states[parent].occupancy += 1;
+                                max_occupancy = max_occupancy.max(states[parent].occupancy);
+                                made_progress = true;
+                            }
+                        }
+                    }
+                }
+            }
+            // Seal expectations: a parent's window is complete when both
+            // children fired and drained their queues.
+            for (level_pos, &(level_start, level_count)) in
+                levels.iter().enumerate().skip(1)
+            {
+                let (child_start, _) = levels[level_pos - 1];
+                for pe_index in 0..level_count {
+                    let id = level_start + pe_index;
+                    if states[id].expected.is_some() {
+                        continue;
+                    }
+                    let left = child_start + 2 * pe_index;
+                    let right = child_start + 2 * pe_index + 1;
+                    let children_done = states[left].fired
+                        && states[left].pending_out.is_empty()
+                        && states[right].fired
+                        && states[right].pending_out.is_empty();
+                    if children_done {
+                        let in_flight = states[id].received;
+                        states[id].expected = Some(in_flight);
+                        made_progress = true;
+                    }
+                }
+            }
+            if all_drained {
+                break;
+            }
+            if made_progress {
+                cycle += 1;
+                continue;
+            }
+            // No progress this cycle: fast-forward to the next future event
+            // (a pending arrival or a scheduled emission). If none exists,
+            // the system is deadlocked on backpressure.
+            let next_event = states
+                .iter()
+                .flat_map(|state| {
+                    state
+                        .arrivals
+                        .iter()
+                        .map(|&(arrival, _, _)| arrival)
+                        .chain(state.pending_out.iter().map(|&(emit, _)| emit))
+                })
+                .filter(|&event| event > cycle)
+                .min();
+            match next_event {
+                Some(event) => cycle = event,
+                None => {
+                    return Err(CycleSimError::Deadlock {
+                        at_cycle: cycle,
+                        fifo_capacity: self.fifo_capacity,
+                    })
+                }
+            }
+        }
+
+        let completion_cycle =
+            root_outputs.iter().map(|&(c, _)| c).max().unwrap_or(cycle);
+        let outputs = root_outputs
+            .into_iter()
+            .map(|(c, mut item)| {
+                item.ready_ns = c as f64 * cycle_ns;
+                item
+            })
+            .collect();
+        Ok(CycleRun {
+            outputs,
+            completion_cycle,
+            completion_ns: completion_cycle as f64 * cycle_ns,
+            stall_cycles,
+            max_occupancy,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::Batch;
+    use crate::indexset;
+    use crate::inject::{build_rank_inputs, GatheredVector};
+    use crate::reduce::ReduceOp;
+    use crate::timing::PeTiming;
+
+    fn inputs_for(batch: &Batch, ranks: usize) -> Vec<Vec<Item>> {
+        let gathered: Vec<GatheredVector> = batch
+            .unique_indices()
+            .iter()
+            .map(|index| GatheredVector {
+                index,
+                rank: index.value() as usize % ranks,
+                value: vec![index.value() as f32; 4],
+                ready_ns: 50.0 + 5.0 * f64::from(index.value()),
+            })
+            .collect();
+        build_rank_inputs(batch, &gathered, ranks, 2, ReduceOp::Sum, &PeTiming::default())
+    }
+
+    fn tree(ranks: usize) -> ReductionTree {
+        let config = FafnirConfig { vector_dim: 4, ..FafnirConfig::paper_default() };
+        ReductionTree::new(config, ranks).unwrap()
+    }
+
+    fn sorted_query_outputs(items: &[Item], op: ReduceOp) -> Vec<(u32, Vec<f32>)> {
+        let run = crate::tree::TreeRun {
+            outputs: items.to_vec(),
+            stats: crate::tree::TreeStats::default(),
+        };
+        run.query_outputs(op).into_iter().map(|(q, v)| (q.0, v)).collect()
+    }
+
+    #[test]
+    fn matches_event_model_functionally() {
+        let batch = Batch::from_index_sets([
+            indexset![0, 1, 5, 6],
+            indexset![2, 3, 5],
+            indexset![7, 4, 1],
+        ]);
+        let tree = tree(8);
+        let event = tree.run(inputs_for(&batch, 8));
+        let cycle = CycleTree::new(&tree, 32).run(inputs_for(&batch, 8)).unwrap();
+        assert_eq!(
+            sorted_query_outputs(&event.outputs, ReduceOp::Sum),
+            sorted_query_outputs(&cycle.outputs, ReduceOp::Sum),
+        );
+    }
+
+    #[test]
+    fn table1_sized_buffers_never_stall() {
+        let sets: Vec<_> = (0..16u32).map(|i| indexset![i % 8, (i + 3) % 8, 8 + i % 8]).collect();
+        let batch = Batch::from_index_sets(sets);
+        let tree = tree(8);
+        let run = CycleTree::new(&tree, 16).run(inputs_for(&batch, 8)).unwrap();
+        assert_eq!(run.stall_cycles, 0, "Table I sizing must avoid backpressure");
+        assert!(run.max_occupancy <= 2 * 16);
+        assert!(run.completion_cycle > 0);
+    }
+
+    #[test]
+    fn undersized_buffers_deadlock_and_are_detected() {
+        // A PE window larger than the FIFO cannot drain: Table I's sizing is
+        // not an optimization but a correctness requirement. The simulator
+        // must say so rather than hang.
+        let sets: Vec<_> = (0..16u32).map(|i| indexset![i % 8, (i + 3) % 8, 8 + i % 8]).collect();
+        let batch = Batch::from_index_sets(sets);
+        let tree = tree(8);
+        let error = CycleTree::new(&tree, 1).run(inputs_for(&batch, 8)).unwrap_err();
+        let CycleSimError::Deadlock { fifo_capacity, .. } = error.clone();
+        assert_eq!(fifo_capacity, 1);
+        assert!(error.to_string().contains("Table I"));
+    }
+
+    #[test]
+    fn completion_tracks_event_model_estimate() {
+        let batch = Batch::from_index_sets([indexset![0, 7, 13, 21], indexset![2, 9]]);
+        let tree = tree(8);
+        let event = tree.run(inputs_for(&batch, 8));
+        let cycle = CycleTree::new(&tree, 32).run(inputs_for(&batch, 8)).unwrap();
+        // The models make different pipelining assumptions (the cycle model
+        // fires on complete windows); they must agree within a small factor.
+        let ratio = cycle.completion_ns / event.stats.completion_ns;
+        assert!((0.5..3.0).contains(&ratio), "completion ratio {ratio}");
+    }
+
+    #[test]
+    fn single_query_through_the_root() {
+        let batch = Batch::from_index_sets([indexset![0, 7]]);
+        let tree = tree(8);
+        let run = CycleTree::new(&tree, 8).run(inputs_for(&batch, 8)).unwrap();
+        let outputs = sorted_query_outputs(&run.outputs, ReduceOp::Sum);
+        assert_eq!(outputs.len(), 1);
+        assert_eq!(outputs[0].1, vec![7.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "FIFO capacity")]
+    fn zero_capacity_is_rejected() {
+        let tree = tree(8);
+        let _ = CycleTree::new(&tree, 0);
+    }
+}

@@ -1,0 +1,823 @@
+//! The end-to-end FAFNIR engine: host preprocessing → DRAM gather →
+//! reduction tree → host.
+//!
+//! [`FafnirEngine::lookup`] runs one software batch of embedding-lookup
+//! queries through the full pipeline:
+//!
+//! 1. the host extracts unique indices and builds leaf headers (Sec. IV-C);
+//! 2. every unique index becomes one DRAM read simulated by
+//!    [`fafnir_mem::MemorySystem`] (rank-parallel, row-buffer aware);
+//! 3. read completions inject items into the reduction tree, which applies
+//!    all reductions at NDP while gathering;
+//! 4. the root forwards exactly one vector per query to the host.
+//!
+//! Software batches larger than the hardware capacity are served as several
+//! hardware batches back to back (Sec. IV-B); their latencies accumulate.
+
+use serde::{Deserialize, Serialize};
+
+use fafnir_mem::{MemoryConfig, MemorySystem, Request};
+
+use crate::batch::Batch;
+use crate::config::FafnirConfig;
+use crate::error::FafnirError;
+use crate::index::{IndexSet, QueryId, VectorIndex};
+use crate::inject::{build_rank_inputs, GatheredVector};
+use crate::placement::EmbeddingSource;
+use crate::reduce::ReduceOp;
+use crate::tree::{ReductionTree, TreeStats};
+
+/// Latency decomposition of a lookup, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct LatencyBreakdown {
+    /// End-to-end latency: last query output delivered to the host.
+    pub total_ns: f64,
+    /// Memory phase: last DRAM read completed.
+    pub memory_ns: f64,
+    /// Non-overlapped tree tail: `total − memory` (the tree works while
+    /// reads stream in, so this is the *exposed* computation latency).
+    pub compute_tail_ns: f64,
+}
+
+/// Data-movement accounting of a lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TrafficStats {
+    /// Index references in the batch (`Σ |query|`).
+    pub total_references: u64,
+    /// DRAM vector reads actually issued (= unique indices with dedup).
+    pub vectors_read: u64,
+    /// Bytes read from DRAM.
+    pub bytes_from_dram: u64,
+    /// Bytes forwarded from the root to the host (`n × v` — the paper's
+    /// guaranteed data movement).
+    pub bytes_to_host: u64,
+}
+
+/// Result of one embedding-lookup batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LookupResult {
+    /// Finished per-query output vectors, sorted by query id.
+    pub outputs: Vec<(QueryId, Vec<f32>)>,
+    /// Per-query completion times (delivery at the host), sorted by query
+    /// id — the distribution behind serving-tail SLAs.
+    pub per_query_ns: Vec<(QueryId, f64)>,
+    /// Latency decomposition.
+    pub latency: LatencyBreakdown,
+    /// DRAM counters (activations, hits, energy inputs).
+    pub memory: fafnir_mem::MemoryStats,
+    /// Tree counters (reduces, forwards, buffer occupancy).
+    pub tree: TreeStats,
+    /// Data-movement accounting.
+    pub traffic: TrafficStats,
+}
+
+impl LookupResult {
+    /// Lookup throughput in queries per second.
+    #[must_use]
+    pub fn queries_per_second(&self) -> f64 {
+        if self.latency.total_ns <= 0.0 {
+            0.0
+        } else {
+            self.outputs.len() as f64 / (self.latency.total_ns * 1e-9)
+        }
+    }
+
+    /// The `p`-th percentile of per-query completion times (nearest-rank),
+    /// e.g. `0.5` for the median, `0.99` for the serving tail. Returns 0.0
+    /// for an empty result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `(0, 1]`.
+    #[must_use]
+    pub fn completion_percentile_ns(&self, p: f64) -> f64 {
+        assert!(p > 0.0 && p <= 1.0, "percentile must be in (0, 1]");
+        if self.per_query_ns.is_empty() {
+            return 0.0;
+        }
+        let mut times: Vec<f64> = self.per_query_ns.iter().map(|&(_, t)| t).collect();
+        times.sort_by(f64::total_cmp);
+        let rank = ((p * times.len() as f64).ceil() as usize).clamp(1, times.len());
+        times[rank - 1]
+    }
+}
+
+/// Result of a pipelined multi-batch stream (see
+/// [`FafnirEngine::lookup_stream`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamResult {
+    /// Hardware batches executed.
+    pub batches: usize,
+    /// Total queries answered.
+    pub queries: usize,
+    /// Delivery time of the last output, in nanoseconds.
+    pub total_ns: f64,
+    /// Completion time of each batch's last output, in submission order.
+    pub per_batch_completion_ns: Vec<f64>,
+    /// DRAM counters over the whole stream.
+    pub memory: fafnir_mem::MemoryStats,
+    /// Vector reads issued over the whole stream.
+    pub vectors_read: u64,
+}
+
+impl StreamResult {
+    /// Measured sustained time per batch: `total / batches`.
+    #[must_use]
+    pub fn sustained_ns_per_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.total_ns / self.batches as f64
+        }
+    }
+
+    /// Measured sustained throughput in queries per second.
+    #[must_use]
+    pub fn queries_per_second(&self) -> f64 {
+        if self.total_ns <= 0.0 {
+            0.0
+        } else {
+            self.queries as f64 / (self.total_ns * 1e-9)
+        }
+    }
+}
+
+/// The FAFNIR accelerator: a reduction tree over a DDR4 memory system.
+#[derive(Debug, Clone)]
+pub struct FafnirEngine {
+    config: FafnirConfig,
+    mem_config: MemoryConfig,
+    tree: ReductionTree,
+}
+
+impl FafnirEngine {
+    /// Builds an engine; the tree spans all ranks of `mem_config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FafnirError::InvalidConfig`] for inconsistent
+    /// configurations (see [`ReductionTree::new`]).
+    pub fn new(config: FafnirConfig, mem_config: MemoryConfig) -> Result<Self, FafnirError> {
+        // FAFNIR's leaf PEs are rank-attached: gathered vectors reach them
+        // over each rank's own port, not the shared channel bus.
+        let mut mem_config = mem_config;
+        mem_config.ndp_data_path = true;
+        mem_config
+            .validate()
+            .map_err(FafnirError::InvalidConfig)?;
+        let tree = ReductionTree::new(config, mem_config.topology.total_ranks())?;
+        Ok(Self { config, mem_config, tree })
+    }
+
+    /// The accelerator configuration.
+    #[must_use]
+    pub fn config(&self) -> &FafnirConfig {
+        &self.config
+    }
+
+    /// The memory configuration.
+    #[must_use]
+    pub fn memory_config(&self) -> &MemoryConfig {
+        &self.mem_config
+    }
+
+    /// The reduction tree.
+    #[must_use]
+    pub fn tree(&self) -> &ReductionTree {
+        &self.tree
+    }
+
+    /// Runs a software batch of queries against `source`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FafnirError::InvalidBatch`] if the batch is empty or the
+    /// source's vector dimension differs from the configuration.
+    pub fn lookup<S: EmbeddingSource>(
+        &self,
+        batch: &Batch,
+        source: &S,
+    ) -> Result<LookupResult, FafnirError> {
+        if batch.is_empty() {
+            return Err(FafnirError::InvalidBatch("batch has no queries".into()));
+        }
+        if source.vector_dim() != self.config.vector_dim {
+            return Err(FafnirError::InvalidBatch(format!(
+                "source vector_dim {} != configured {}",
+                source.vector_dim(),
+                self.config.vector_dim
+            )));
+        }
+        if batch.max_query_len() > self.config.max_query_len {
+            return Err(FafnirError::InvalidBatch(format!(
+                "query of {} indices exceeds the hardware header limit q = {}",
+                batch.max_query_len(),
+                self.config.max_query_len
+            )));
+        }
+
+        let mut result = LookupResult {
+            outputs: Vec::new(),
+            per_query_ns: Vec::new(),
+            latency: LatencyBreakdown::default(),
+            memory: fafnir_mem::MemoryStats::default(),
+            tree: TreeStats::default(),
+            traffic: TrafficStats::default(),
+        };
+        let mut offset_ns = 0.0;
+
+        let hardware_batches = if self.config.arrange_batches {
+            batch.split_for_sharing(self.config.batch_capacity)
+        } else {
+            batch.split(self.config.batch_capacity)
+        };
+        for hardware_batch in hardware_batches {
+            let sub = self.run_hardware_batch(&hardware_batch, source)?;
+            result.outputs.extend(sub.outputs);
+            result
+                .per_query_ns
+                .extend(sub.per_query_ns.iter().map(|&(q, t)| (q, offset_ns + t)));
+            offset_ns += sub.latency.total_ns;
+            result.latency.total_ns += sub.latency.total_ns;
+            result.latency.memory_ns += sub.latency.memory_ns;
+            result.latency.compute_tail_ns += sub.latency.compute_tail_ns;
+            result.memory.merge(&sub.memory);
+            result.tree.ops.merge(&sub.tree.ops);
+            result.tree.levels = sub.tree.levels;
+            result.tree.pes += sub.tree.pes;
+            result.tree.completion_ns = result.latency.total_ns;
+            result.tree.max_buffer_items =
+                result.tree.max_buffer_items.max(sub.tree.max_buffer_items);
+            result.tree.incomplete_outputs += sub.tree.incomplete_outputs;
+            result.traffic.total_references += sub.traffic.total_references;
+            result.traffic.vectors_read += sub.traffic.vectors_read;
+            result.traffic.bytes_from_dram += sub.traffic.bytes_from_dram;
+            result.traffic.bytes_to_host += sub.traffic.bytes_to_host;
+        }
+        result.outputs.sort_by_key(|(query, _)| *query);
+        result.per_query_ns.sort_by_key(|(query, _)| *query);
+        Ok(result)
+    }
+
+    /// Runs one hardware-sized batch.
+    fn run_hardware_batch<S: EmbeddingSource>(
+        &self,
+        batch: &Batch,
+        source: &S,
+    ) -> Result<LookupResult, FafnirError> {
+        // Without dedup every reference is its own read; model that by
+        // rewriting the batch over per-occurrence virtual indices.
+        let (batch, origin): (Batch, Option<Vec<VectorIndex>>) = if self.config.dedup {
+            (batch.clone(), None)
+        } else {
+            let mut originals = Vec::new();
+            let rewritten = batch
+                .queries()
+                .iter()
+                .map(|query| {
+                    IndexSet::from_iter_dedup(query.indices.iter().map(|index| {
+                        let virtual_id = VectorIndex(originals.len() as u32);
+                        originals.push(index);
+                        virtual_id
+                    }))
+                })
+                .collect::<Batch>();
+            (rewritten, Some(originals))
+        };
+        let resolve = |index: VectorIndex| -> VectorIndex {
+            match &origin {
+                Some(map) => map[index.value() as usize],
+                None => index,
+            }
+        };
+
+        // Gather phase: one DRAM read per (unique) index.
+        let mut memory = MemorySystem::new(self.mem_config);
+        let to_read = batch.unique_indices();
+        let vector_bytes = self.config.vector_bytes();
+        let reads: Vec<(VectorIndex, fafnir_mem::RequestId, fafnir_mem::Location)> = to_read
+            .iter()
+            .map(|index| {
+                let location = source.location_of(resolve(index));
+                let addr = self.mem_config.mapping.encode(location, &self.mem_config.topology);
+                let id = memory.submit(Request::read(addr.value(), vector_bytes));
+                (index, id, location)
+            })
+            .collect();
+        memory.run_until_idle();
+        let dram_timing = self.mem_config.timing;
+        let gathered: Vec<GatheredVector> = reads
+            .iter()
+            .map(|(index, id, location)| {
+                let completion = memory.completion(*id).expect("read completed");
+                GatheredVector {
+                    index: *index,
+                    rank: location.global_rank(&self.mem_config.topology),
+                    value: source.value_of(resolve(*index)),
+                    ready_ns: dram_timing.cycles_to_ns(completion.finish_cycle),
+                }
+            })
+            .collect();
+        let memory_ns =
+            gathered.iter().map(|g| g.ready_ns).fold(0.0, f64::max);
+
+        // Tree phase.
+        let ranks = self.mem_config.topology.total_ranks();
+        let inputs = build_rank_inputs(
+            &batch,
+            &gathered,
+            ranks,
+            self.config.ranks_per_leaf,
+            self.config.op,
+            &self.config.pe_timing,
+        );
+        let run = self.tree.run(inputs);
+        let mut outputs = run.query_outputs(self.config.op);
+        if outputs.len() != batch.len() {
+            return Err(FafnirError::InvalidBatch(format!(
+                "{} of {} queries did not complete in the tree",
+                batch.len() - outputs.len(),
+                batch.len()
+            )));
+        }
+        // Root → host link transfer per output.
+        let per_query_ns: Vec<(QueryId, f64)> = run
+            .query_completion_ns()
+            .iter()
+            .map(|&(query, t)| (query, t + self.config.link_transfer_ns()))
+            .collect();
+        let total_ns = per_query_ns.iter().map(|&(_, t)| t).fold(0.0, f64::max);
+        outputs.sort_by_key(|(query, _)| *query);
+
+        let memory_stats = memory.stats();
+        Ok(LookupResult {
+            outputs,
+            per_query_ns,
+            latency: LatencyBreakdown {
+                total_ns,
+                memory_ns,
+                compute_tail_ns: (total_ns - memory_ns).max(0.0),
+            },
+            memory: memory_stats,
+            traffic: TrafficStats {
+                total_references: batch.total_references() as u64,
+                vectors_read: to_read.len() as u64,
+                bytes_from_dram: memory_stats.bytes_transferred,
+                bytes_to_host: (batch.len() * vector_bytes) as u64,
+            },
+            tree: run.stats,
+        })
+    }
+
+    /// Interactive (non-batch) lookup: queries are served one at a time,
+    /// each as its own hardware batch, and their latencies accumulate.
+    ///
+    /// Sec. IV-C: "the same mechanism can also be used for interactive
+    /// processing, in which all nodes would either forward or reduce without
+    /// performing any comparisons" — with a single in-flight query every
+    /// header holds one entry, so the compute units' compare loops are
+    /// trivial. Batch mode amortizes gather parallelism and shares unique
+    /// indices; this method quantifies what that is worth.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FafnirEngine::lookup`].
+    pub fn lookup_interactive<S: EmbeddingSource>(
+        &self,
+        batch: &Batch,
+        source: &S,
+    ) -> Result<LookupResult, FafnirError> {
+        if batch.is_empty() {
+            return Err(FafnirError::InvalidBatch("batch has no queries".into()));
+        }
+        let mut combined: Option<LookupResult> = None;
+        for query in batch.queries() {
+            let mut single = Batch::new();
+            single.push(query.indices.clone());
+            let mut result = self.lookup(&single, source)?;
+            // Restore the caller's query id.
+            result.outputs[0].0 = query.id;
+            match &mut combined {
+                None => combined = Some(result),
+                Some(total) => {
+                    total.outputs.extend(result.outputs);
+                    total.latency.total_ns += result.latency.total_ns;
+                    total.latency.memory_ns += result.latency.memory_ns;
+                    total.latency.compute_tail_ns += result.latency.compute_tail_ns;
+                    total.memory.merge(&result.memory);
+                    total.tree.ops.merge(&result.tree.ops);
+                    total.traffic.total_references += result.traffic.total_references;
+                    total.traffic.vectors_read += result.traffic.vectors_read;
+                    total.traffic.bytes_from_dram += result.traffic.bytes_from_dram;
+                    total.traffic.bytes_to_host += result.traffic.bytes_to_host;
+                }
+            }
+        }
+        let mut combined = combined.expect("non-empty batch");
+        combined.outputs.sort_by_key(|(query, _)| *query);
+        Ok(combined)
+    }
+
+    /// Pipelined execution of a stream of batches: all batches' DRAM reads
+    /// share one memory system (and its FR-FCFS queue), so inter-batch
+    /// memory contention is *measured* rather than modelled, while each
+    /// batch's tree pass proceeds as its reads complete — the tree is
+    /// pipelined and batches do not conflict inside it (Sec. IV-A,
+    /// "parallelizing memory accesses & computations").
+    ///
+    /// Every batch's outputs are functionally produced and verified
+    /// retrievable; the result reports measured sustained throughput.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FafnirError::InvalidBatch`] under the same conditions as
+    /// [`FafnirEngine::lookup`] for any batch in the stream.
+    pub fn lookup_stream<S: EmbeddingSource>(
+        &self,
+        batches: &[Batch],
+        source: &S,
+    ) -> Result<StreamResult, FafnirError> {
+        if batches.is_empty() {
+            return Err(FafnirError::InvalidBatch("stream has no batches".into()));
+        }
+        // Split software batches into hardware batches up front.
+        let mut hardware: Vec<Batch> = Vec::new();
+        for batch in batches {
+            if batch.is_empty() {
+                return Err(FafnirError::InvalidBatch("batch has no queries".into()));
+            }
+            if batch.max_query_len() > self.config.max_query_len {
+                return Err(FafnirError::InvalidBatch(format!(
+                    "query of {} indices exceeds the hardware header limit q = {}",
+                    batch.max_query_len(),
+                    self.config.max_query_len
+                )));
+            }
+            hardware.extend(batch.split(self.config.batch_capacity));
+        }
+
+        // Gather phase: one shared memory system; batch k's reads enqueue
+        // before batch k+1's, so FR-FCFS overlaps them within its window.
+        let mut memory = MemorySystem::new(self.mem_config);
+        let vector_bytes = self.config.vector_bytes();
+        let mut read_plan = Vec::with_capacity(hardware.len());
+        let mut vectors_read = 0u64;
+        for batch in &hardware {
+            let reads: Vec<(VectorIndex, fafnir_mem::RequestId, usize)> = batch
+                .unique_indices()
+                .iter()
+                .map(|index| {
+                    let location = source.location_of(index);
+                    let addr =
+                        self.mem_config.mapping.encode(location, &self.mem_config.topology);
+                    let id = memory.submit(Request::read(addr.value(), vector_bytes));
+                    (index, id, location.global_rank(&self.mem_config.topology))
+                })
+                .collect();
+            vectors_read += reads.len() as u64;
+            read_plan.push(reads);
+        }
+        memory.run_until_idle();
+
+        // Tree phase per batch, fed by the measured completion times.
+        let dram_timing = self.mem_config.timing;
+        let ranks = self.mem_config.topology.total_ranks();
+        let mut per_batch_completion_ns = Vec::with_capacity(hardware.len());
+        let mut total_ns = 0.0f64;
+        let mut queries = 0usize;
+        for (batch, reads) in hardware.iter().zip(&read_plan) {
+            let gathered: Vec<GatheredVector> = reads
+                .iter()
+                .map(|(index, id, rank)| {
+                    let completion = memory.completion(*id).expect("read completed");
+                    GatheredVector {
+                        index: *index,
+                        rank: *rank,
+                        value: source.value_of(*index),
+                        ready_ns: dram_timing.cycles_to_ns(completion.finish_cycle),
+                    }
+                })
+                .collect();
+            let inputs = build_rank_inputs(
+                batch,
+                &gathered,
+                ranks,
+                self.config.ranks_per_leaf,
+                self.config.op,
+                &self.config.pe_timing,
+            );
+            let run = self.tree.run(inputs);
+            let outputs = run.query_outputs(self.config.op);
+            if outputs.len() != batch.len() {
+                return Err(FafnirError::InvalidBatch(format!(
+                    "{} of {} queries did not complete in the tree",
+                    batch.len() - outputs.len(),
+                    batch.len()
+                )));
+            }
+            queries += outputs.len();
+            let completion = run
+                .query_completion_ns()
+                .iter()
+                .map(|(_, t)| *t)
+                .fold(0.0, f64::max)
+                + self.config.link_transfer_ns();
+            total_ns = total_ns.max(completion);
+            per_batch_completion_ns.push(completion);
+        }
+        Ok(StreamResult {
+            batches: hardware.len(),
+            queries,
+            total_ns,
+            per_batch_completion_ns,
+            memory: memory.stats(),
+            vectors_read,
+        })
+    }
+
+    /// Number of point-to-point connections in a FAFNIR deployment over `m`
+    /// ranks feeding `c` cores: `(2m − 2) + c` (Sec. IV-A), versus the
+    /// baseline's all-to-all `c × m`.
+    #[must_use]
+    pub fn connection_count(&self, cores: usize) -> usize {
+        let m = self.mem_config.topology.total_ranks();
+        (2 * m).saturating_sub(2) + cores
+    }
+}
+
+/// Reference software lookup used to validate engine outputs in tests and
+/// benchmarks: gathers and reduces on the "CPU".
+#[must_use]
+pub fn reference_lookup<S: EmbeddingSource>(
+    batch: &Batch,
+    source: &S,
+    op: ReduceOp,
+) -> Vec<(QueryId, Vec<f32>)> {
+    batch
+        .reference_outputs(op, |index| source.value_of(index))
+        .into_iter()
+        .filter_map(|(query, value)| value.map(|v| (query, v)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::indexset;
+    use crate::placement::StripedSource;
+
+    fn engine() -> FafnirEngine {
+        FafnirEngine::new(FafnirConfig::paper_default(), MemoryConfig::ddr4_2400_4ch()).unwrap()
+    }
+
+    fn source() -> StripedSource {
+        StripedSource::new(MemoryConfig::ddr4_2400_4ch().topology, 128)
+    }
+
+    fn assert_outputs_match_reference(batch: &Batch, result: &LookupResult, source: &StripedSource) {
+        let reference = reference_lookup(batch, source, ReduceOp::Sum);
+        assert_eq!(result.outputs.len(), reference.len());
+        for ((qa, got), (qb, expected)) in result.outputs.iter().zip(&reference) {
+            assert_eq!(qa, qb);
+            for (x, y) in got.iter().zip(expected) {
+                assert!((x - y).abs() < 1e-3, "{qa}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_matches_software_reference() {
+        let engine = engine();
+        let source = source();
+        let batch = Batch::from_index_sets([
+            indexset![1, 2, 5, 6],
+            indexset![3, 4, 5],
+            indexset![7, 40, 100, 260],
+        ]);
+        let result = engine.lookup(&batch, &source).unwrap();
+        assert_outputs_match_reference(&batch, &result, &source);
+        assert!(result.latency.total_ns > 0.0);
+        assert!(result.latency.memory_ns > 0.0);
+        assert!(result.queries_per_second() > 0.0);
+    }
+
+    #[test]
+    fn dedup_reads_only_unique_indices() {
+        let engine = engine();
+        let source = source();
+        // Index 5 shared by both queries: 6 references, 5 unique.
+        let batch = Batch::from_index_sets([indexset![1, 2, 5], indexset![3, 4, 5]]);
+        let result = engine.lookup(&batch, &source).unwrap();
+        assert_eq!(result.traffic.total_references, 6);
+        assert_eq!(result.traffic.vectors_read, 5);
+        // 5 × 512 B at 64 B bursts = 40 reads.
+        assert_eq!(result.memory.reads, 40);
+    }
+
+    #[test]
+    fn no_dedup_reads_every_reference() {
+        let mut config = FafnirConfig::paper_default();
+        config.dedup = false;
+        let engine = FafnirEngine::new(config, MemoryConfig::ddr4_2400_4ch()).unwrap();
+        let source = source();
+        let batch = Batch::from_index_sets([indexset![1, 2, 5], indexset![3, 4, 5]]);
+        let result = engine.lookup(&batch, &source).unwrap();
+        assert_eq!(result.traffic.vectors_read, 6);
+        assert_outputs_match_reference(&batch, &result, &source);
+    }
+
+    #[test]
+    fn per_query_latencies_and_percentiles_are_consistent() {
+        let engine = engine();
+        let source = source();
+        let sets: Vec<IndexSet> = (0..8u32)
+            .map(|i| IndexSet::from_iter_dedup((0..8).map(|j| VectorIndex(i * 8 + j))))
+            .collect();
+        let batch = Batch::from_index_sets(sets);
+        let result = engine.lookup(&batch, &source).unwrap();
+        assert_eq!(result.per_query_ns.len(), 8);
+        let p50 = result.completion_percentile_ns(0.5);
+        let p99 = result.completion_percentile_ns(0.99);
+        assert!(p50 > 0.0 && p50 <= p99);
+        assert!((p99 - result.latency.total_ns).abs() < 1e-6, "p99 of 8 = max");
+        // Every per-query time is below the batch total.
+        for &(_, t) in &result.per_query_ns {
+            assert!(t <= result.latency.total_ns + 1e-9);
+        }
+    }
+
+    #[test]
+    fn arranged_batches_read_less_and_still_match() {
+        let mem = MemoryConfig::ddr4_2400_4ch();
+        let source = source();
+        // Two sharing families interleaved; capacity 2 per hardware batch.
+        let batch = Batch::from_index_sets([
+            indexset![1, 2, 3],
+            indexset![10, 11, 12],
+            indexset![1, 2, 4],
+            indexset![10, 11, 13],
+        ]);
+        let base_config =
+            FafnirConfig { batch_capacity: 2, ..FafnirConfig::paper_default() };
+        let naive = FafnirEngine::new(base_config, mem).unwrap();
+        let arranged = FafnirEngine::new(
+            FafnirConfig { arrange_batches: true, ..base_config },
+            mem,
+        )
+        .unwrap();
+        let naive_result = naive.lookup(&batch, &source).unwrap();
+        let arranged_result = arranged.lookup(&batch, &source).unwrap();
+        assert!(
+            arranged_result.traffic.vectors_read < naive_result.traffic.vectors_read,
+            "{} vs {}",
+            arranged_result.traffic.vectors_read,
+            naive_result.traffic.vectors_read
+        );
+        assert_outputs_match_reference(&batch, &arranged_result, &source);
+    }
+
+    #[test]
+    fn oversized_batches_split_into_hardware_batches() {
+        let mut config = FafnirConfig::paper_default();
+        config.batch_capacity = 2;
+        let engine = FafnirEngine::new(config, MemoryConfig::ddr4_2400_4ch()).unwrap();
+        let source = source();
+        let batch = Batch::from_index_sets([
+            indexset![1, 2],
+            indexset![3, 4],
+            indexset![5, 6],
+        ]);
+        let result = engine.lookup(&batch, &source).unwrap();
+        assert_eq!(result.outputs.len(), 3);
+        assert_outputs_match_reference(&batch, &result, &source);
+    }
+
+    #[test]
+    fn empty_batch_is_rejected() {
+        let engine = engine();
+        let source = source();
+        assert!(matches!(
+            engine.lookup(&Batch::new(), &source),
+            Err(FafnirError::InvalidBatch(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_queries_are_rejected() {
+        let engine = engine();
+        let source = source();
+        let long = IndexSet::from_iter_dedup((0..17).map(VectorIndex));
+        let batch = Batch::from_index_sets([long]);
+        let error = engine.lookup(&batch, &source).unwrap_err();
+        assert!(error.to_string().contains("header limit"), "{error}");
+    }
+
+    #[test]
+    fn mismatched_vector_dim_is_rejected() {
+        let engine = engine();
+        let source = StripedSource::new(MemoryConfig::ddr4_2400_4ch().topology, 64);
+        let batch = Batch::from_index_sets([indexset![1]]);
+        assert!(engine.lookup(&batch, &source).is_err());
+    }
+
+    #[test]
+    fn data_movement_to_host_is_n_times_v() {
+        let engine = engine();
+        let source = source();
+        let batch = Batch::from_index_sets([
+            indexset![1, 2, 5, 6],
+            indexset![3, 4, 5],
+        ]);
+        let result = engine.lookup(&batch, &source).unwrap();
+        // The paper's guarantee: only n output vectors cross to the host.
+        assert_eq!(result.traffic.bytes_to_host, 2 * 512);
+        assert!(result.traffic.bytes_from_dram >= result.traffic.bytes_to_host);
+    }
+
+    #[test]
+    fn connection_count_matches_paper_formula() {
+        let engine = engine();
+        // 32 ranks, 4 cores: (2×32 − 2) + 4 = 66, versus 128 all-to-all.
+        assert_eq!(engine.connection_count(4), 66);
+    }
+
+    #[test]
+    fn interactive_mode_matches_reference_but_costs_more() {
+        let engine = engine();
+        let source = source();
+        // Shared index 5: batch mode reads it once, interactive twice.
+        let batch = Batch::from_index_sets([indexset![1, 2, 5], indexset![3, 4, 5]]);
+        let interactive = engine.lookup_interactive(&batch, &source).unwrap();
+        let batched = engine.lookup(&batch, &source).unwrap();
+        assert_eq!(interactive.outputs.len(), 2);
+        for ((qa, a), (qb, b)) in interactive.outputs.iter().zip(&batched.outputs) {
+            assert_eq!(qa, qb);
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-3);
+            }
+        }
+        assert!(interactive.latency.total_ns > batched.latency.total_ns);
+        assert_eq!(interactive.traffic.vectors_read, 6);
+        assert_eq!(batched.traffic.vectors_read, 5);
+    }
+
+    #[test]
+    fn stream_mode_overlaps_batches() {
+        let engine = engine();
+        let source = source();
+        let batches: Vec<Batch> = (0..4u32)
+            .map(|k| {
+                Batch::from_index_sets([
+                    IndexSet::from_iter_dedup((0..8).map(|j| VectorIndex(k * 64 + j))),
+                    IndexSet::from_iter_dedup((8..16).map(|j| VectorIndex(k * 64 + j))),
+                ])
+            })
+            .collect();
+        let stream = engine.lookup_stream(&batches, &source).unwrap();
+        assert_eq!(stream.batches, 4);
+        assert_eq!(stream.queries, 8);
+        // Pipelining: the stream finishes well before 4 sequential batches.
+        let single = engine.lookup(&batches[0], &source).unwrap();
+        assert!(
+            stream.total_ns < 3.0 * single.latency.total_ns,
+            "stream {:.0} ns vs 4 x {:.0} ns sequential",
+            stream.total_ns,
+            single.latency.total_ns
+        );
+        assert!(stream.queries_per_second() > single.queries_per_second());
+        // Completions are ordered (later batches finish no earlier than the
+        // first) and memory stats cover all reads.
+        assert!(stream.per_batch_completion_ns[3] >= stream.per_batch_completion_ns[0]);
+        assert_eq!(stream.vectors_read, 4 * 16);
+    }
+
+    #[test]
+    fn stream_mode_rejects_empty_input() {
+        let engine = engine();
+        let source = source();
+        assert!(engine.lookup_stream(&[], &source).is_err());
+        assert!(engine.lookup_stream(&[Batch::new()], &source).is_err());
+    }
+
+    #[test]
+    fn wider_memory_reduces_lookup_latency() {
+        let source_32 = source();
+        let config = FafnirConfig::paper_default();
+        let big = FafnirEngine::new(config, MemoryConfig::ddr4_2400_4ch()).unwrap();
+        let small_mem = MemoryConfig::with_total_ranks(2);
+        let small = FafnirEngine::new(config, small_mem).unwrap();
+        let source_2 = StripedSource::new(small_mem.topology, 128);
+        let sets: Vec<IndexSet> = (0..8u32)
+            .map(|i| IndexSet::from_iter_dedup((0..16).map(|j| VectorIndex(i * 16 + j))))
+            .collect();
+        let batch = Batch::from_index_sets(sets);
+        let wide = big.lookup(&batch, &source_32).unwrap();
+        let narrow = small.lookup(&batch, &source_2).unwrap();
+        assert!(
+            wide.latency.total_ns < narrow.latency.total_ns,
+            "32 ranks ({:.0} ns) should beat 2 ranks ({:.0} ns)",
+            wide.latency.total_ns,
+            narrow.latency.total_ns
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Error types for the FAFNIR core.
+
+/// Errors reported by FAFNIR engines and configuration validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FafnirError {
+    /// A configuration field is out of range or inconsistent.
+    InvalidConfig(String),
+    /// A batch violates hardware limits (e.g. query longer than supported).
+    InvalidBatch(String),
+    /// An index has no placement in the memory system.
+    UnknownIndex(crate::index::VectorIndex),
+}
+
+impl std::fmt::Display for FafnirError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FafnirError::InvalidConfig(message) => write!(f, "invalid configuration: {message}"),
+            FafnirError::InvalidBatch(message) => write!(f, "invalid batch: {message}"),
+            FafnirError::UnknownIndex(index) => write!(f, "no placement for index {index}"),
+        }
+    }
+}
+
+impl std::error::Error for FafnirError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let error = FafnirError::InvalidConfig("vector_dim must be non-zero".into());
+        assert_eq!(error.to_string(), "invalid configuration: vector_dim must be non-zero");
+        let error = FafnirError::UnknownIndex(crate::index::VectorIndex(9));
+        assert!(error.to_string().contains("v9"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FafnirError>();
+    }
+}

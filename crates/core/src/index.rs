@@ -1,0 +1,303 @@
+//! Embedding-vector indices, queries ids, and small sorted index sets.
+//!
+//! The paper identifies each embedding vector by an *index* (Fig. 1). A
+//! *query* is a set of indices whose vectors are gathered and reduced into
+//! one output. Headers flowing through the tree carry sets of indices, so
+//! the dominant operations are subset tests, unions and differences on
+//! small sets — implemented here as sorted `Vec`s, which is also what the
+//! hardware's iterative compare units effectively do.
+
+use serde::{Deserialize, Serialize};
+
+/// Global identifier of one embedding vector.
+///
+/// Following Fig. 4b/Fig. 6 of the paper, an index addresses a vector across
+/// all embedding tables (table number and in-table offset are packed by the
+/// workload layer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VectorIndex(pub u32);
+
+impl VectorIndex {
+    /// Packs a table number and an in-table row into one index, matching the
+    /// paper's running example where index "50" means row 5 of table 0.
+    #[must_use]
+    pub fn from_table_row(table: u32, row: u32, rows_per_table: u32) -> Self {
+        Self(table * rows_per_table + row)
+    }
+
+    /// The raw index value.
+    #[must_use]
+    pub fn value(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for VectorIndex {
+    fn from(value: u32) -> Self {
+        Self(value)
+    }
+}
+
+impl std::fmt::Display for VectorIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Identifier of a query within a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct QueryId(pub u32);
+
+impl std::fmt::Display for QueryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// A sorted, duplicate-free set of [`VectorIndex`] values.
+///
+/// Headers are small (a query holds at most ~16 indices), so a sorted vector
+/// beats hash sets and mirrors the fixed-width bit fields of the hardware.
+///
+/// # Examples
+///
+/// ```
+/// use fafnir_core::indexset;
+///
+/// let query = indexset![5, 1, 2];
+/// let reduced = indexset![1, 2];
+/// assert!(reduced.is_subset_of(&query));
+/// assert_eq!(query.difference(&reduced), indexset![5]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct IndexSet(Vec<VectorIndex>);
+
+impl IndexSet {
+    /// The empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A singleton set.
+    #[must_use]
+    pub fn singleton(index: VectorIndex) -> Self {
+        Self(vec![index])
+    }
+
+    /// Builds a set from any iterator, sorting and deduplicating.
+    #[must_use]
+    pub fn from_iter_dedup<I: IntoIterator<Item = VectorIndex>>(iter: I) -> Self {
+        let mut items: Vec<VectorIndex> = iter.into_iter().collect();
+        items.sort_unstable();
+        items.dedup();
+        Self(items)
+    }
+
+    /// Number of indices in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the set has no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Membership test (binary search).
+    #[must_use]
+    pub fn contains(&self, index: VectorIndex) -> bool {
+        self.0.binary_search(&index).is_ok()
+    }
+
+    /// True when every element of `self` is in `other`.
+    ///
+    /// This is the hardware's header comparison: "B\[x\].queries\[j\]
+    /// contains all elements of A\[i\].indices" (Sec. IV-B).
+    #[must_use]
+    pub fn is_subset_of(&self, other: &IndexSet) -> bool {
+        self.0.iter().all(|index| other.contains(*index))
+    }
+
+    /// True when the sets share no element.
+    #[must_use]
+    pub fn is_disjoint_from(&self, other: &IndexSet) -> bool {
+        // Merge-walk over the two sorted vectors.
+        let (mut i, mut j) = (0, 0);
+        while i < self.0.len() && j < other.0.len() {
+            match self.0[i].cmp(&other.0[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return false,
+            }
+        }
+        true
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(&self, other: &IndexSet) -> IndexSet {
+        let mut merged = Vec::with_capacity(self.0.len() + other.0.len());
+        merged.extend_from_slice(&self.0);
+        merged.extend_from_slice(&other.0);
+        merged.sort_unstable();
+        merged.dedup();
+        IndexSet(merged)
+    }
+
+    /// Set difference `self \ other`.
+    #[must_use]
+    pub fn difference(&self, other: &IndexSet) -> IndexSet {
+        IndexSet(self.0.iter().copied().filter(|index| !other.contains(*index)).collect())
+    }
+
+    /// Iterates over the indices in ascending order.
+    pub fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, VectorIndex>> {
+        self.0.iter().copied()
+    }
+
+    /// Borrow the sorted contents.
+    #[must_use]
+    pub fn as_slice(&self) -> &[VectorIndex] {
+        &self.0
+    }
+
+    /// Bits needed to encode one index for `universe` distinct vectors (the
+    /// paper uses 5-bit fields for 32 embedding tables, Sec. IV-B).
+    #[must_use]
+    pub fn bits_per_index(universe: usize) -> u32 {
+        usize::BITS - universe.next_power_of_two().leading_zeros() - 1
+    }
+}
+
+impl FromIterator<VectorIndex> for IndexSet {
+    fn from_iter<I: IntoIterator<Item = VectorIndex>>(iter: I) -> Self {
+        Self::from_iter_dedup(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a IndexSet {
+    type Item = VectorIndex;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, VectorIndex>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl std::fmt::Display for IndexSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (pos, index) in self.0.iter().enumerate() {
+            if pos > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", index.0)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Convenience constructor used pervasively in tests:
+/// `indexset![1, 2, 5]`.
+#[macro_export]
+macro_rules! indexset {
+    ($($value:expr),* $(,)?) => {
+        $crate::index::IndexSet::from_iter_dedup(
+            [$($crate::index::VectorIndex($value)),*]
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn from_table_row_matches_paper_example() {
+        // Index "50" means row 5 of table 0 in Fig. 6 (decimal digits there;
+        // we use a uniform rows_per_table packing).
+        let index = VectorIndex::from_table_row(0, 5, 10);
+        assert_eq!(index, VectorIndex(5));
+        let index = VectorIndex::from_table_row(3, 2, 10);
+        assert_eq!(index, VectorIndex(32));
+    }
+
+    #[test]
+    fn macro_sorts_and_dedups() {
+        let set = indexset![5, 1, 3, 1];
+        assert_eq!(set.as_slice(), &[VectorIndex(1), VectorIndex(3), VectorIndex(5)]);
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn subset_and_disjoint_relations() {
+        let small = indexset![1, 2];
+        let big = indexset![1, 2, 5, 6];
+        let other = indexset![3, 4];
+        assert!(small.is_subset_of(&big));
+        assert!(!big.is_subset_of(&small));
+        assert!(small.is_disjoint_from(&other));
+        assert!(!small.is_disjoint_from(&big));
+        assert!(IndexSet::new().is_subset_of(&small));
+        assert!(IndexSet::new().is_disjoint_from(&IndexSet::new()));
+    }
+
+    #[test]
+    fn union_and_difference() {
+        let a = indexset![1, 2, 5];
+        let b = indexset![2, 6];
+        assert_eq!(a.union(&b), indexset![1, 2, 5, 6]);
+        assert_eq!(a.difference(&b), indexset![1, 5]);
+        assert_eq!(b.difference(&a), indexset![6]);
+    }
+
+    #[test]
+    fn bits_per_index_matches_paper_sizing() {
+        // 32 tables → 5-bit index fields (Sec. IV-B).
+        assert_eq!(IndexSet::bits_per_index(32), 5);
+        assert_eq!(IndexSet::bits_per_index(33), 6);
+        assert_eq!(IndexSet::bits_per_index(2), 1);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(indexset![5, 1].to_string(), "{1,5}");
+        assert_eq!(IndexSet::new().to_string(), "{}");
+        assert_eq!(VectorIndex(7).to_string(), "v7");
+        assert_eq!(QueryId(3).to_string(), "q3");
+    }
+
+    proptest! {
+        #[test]
+        fn union_is_commutative_and_contains_both(
+            a in proptest::collection::vec(0u32..64, 0..12),
+            b in proptest::collection::vec(0u32..64, 0..12),
+        ) {
+            let sa = IndexSet::from_iter_dedup(a.iter().copied().map(VectorIndex));
+            let sb = IndexSet::from_iter_dedup(b.iter().copied().map(VectorIndex));
+            let u = sa.union(&sb);
+            prop_assert_eq!(&u, &sb.union(&sa));
+            prop_assert!(sa.is_subset_of(&u));
+            prop_assert!(sb.is_subset_of(&u));
+        }
+
+        #[test]
+        fn difference_removes_exactly_other(
+            a in proptest::collection::vec(0u32..64, 0..12),
+            b in proptest::collection::vec(0u32..64, 0..12),
+        ) {
+            let sa = IndexSet::from_iter_dedup(a.iter().copied().map(VectorIndex));
+            let sb = IndexSet::from_iter_dedup(b.iter().copied().map(VectorIndex));
+            let d = sa.difference(&sb);
+            prop_assert!(d.is_disjoint_from(&sb));
+            prop_assert!(d.is_subset_of(&sa));
+            for index in sa.iter() {
+                prop_assert_eq!(d.contains(index), !sb.contains(index));
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! # fafnir-core — the FAFNIR near-memory intelligent reduction tree
+//!
+//! A from-scratch Rust reproduction of **FAFNIR** (HPCA 2021): a
+//! near-data-processing accelerator for *sparse gathering* — embedding
+//! lookup in recommendation systems and, via vectorization, SpMV. FAFNIR
+//! attaches a reduction tree to the ranks of a DDR4 memory system and
+//! *processes data while gathering it*: reductions happen at tree nodes
+//! wherever the operands meet (a leaf for neighbours, the root for the
+//! remotest pair), so
+//!
+//! * **all** reduction work happens at NDP regardless of data placement,
+//! * only `n × v` output bytes ever cross to the host,
+//! * batches are deduplicated at the host, so each unique index is read
+//!   from DRAM exactly once — no caches, and
+//! * the tree needs `(2m − 2) + c` links instead of all-to-all `c × m`.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use fafnir_core::{Batch, FafnirConfig, FafnirEngine, StripedSource};
+//! use fafnir_core::indexset;
+//! use fafnir_mem::MemoryConfig;
+//!
+//! # fn main() -> Result<(), fafnir_core::FafnirError> {
+//! let mem = MemoryConfig::ddr4_2400_4ch();             // 32 ranks
+//! let engine = FafnirEngine::new(FafnirConfig::paper_default(), mem)?;
+//! let source = StripedSource::new(mem.topology, 128);  // 512 B vectors
+//!
+//! let batch = Batch::from_index_sets([
+//!     indexset![1, 2, 5, 6],   // query 1 (Fig. 1 of the paper)
+//!     indexset![3, 4, 5],      // query 2
+//! ]);
+//! let result = engine.lookup(&batch, &source)?;
+//! assert_eq!(result.outputs.len(), 2);
+//! println!("lookup took {:.1} ns", result.latency.total_ns);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! ## Module map
+//!
+//! * [`index`], [`item`], [`codec`] — indices, index sets, headers, and the
+//!   Table I bit-packed header wire format.
+//! * [`batch`] — queries, batches, unique-index extraction (Sec. IV-C).
+//! * [`reduce`] — reduction operators.
+//! * [`pe`], [`timing`] — the PE microarchitecture and Table IV latencies.
+//! * [`tree`], [`inject`] — the reduction tree and leaf-input construction.
+//! * [`exec_trace`] — per-PE firing traces with a waterfall renderer.
+//! * [`cycle_sim`] — cycle-stepped simulation with finite FIFOs and
+//!   backpressure, validating Table I's sizing dynamically.
+//! * [`placement`], [`engine`] — vector placement and the end-to-end engine.
+//! * [`model`] — buffer sizing, connections, ASIC/FPGA area & power models.
+//! * [`verify`] — one-call differential self-verification for configuration
+//!   changes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod codec;
+pub mod config;
+pub mod cycle_sim;
+pub mod engine;
+pub mod error;
+pub mod exec_trace;
+pub mod index;
+pub mod inject;
+pub mod item;
+pub mod model;
+pub mod pe;
+pub mod placement;
+pub mod reduce;
+pub mod timing;
+pub mod tree;
+pub mod verify;
+
+pub use batch::{Batch, Query};
+pub use config::FafnirConfig;
+pub use engine::{FafnirEngine, LatencyBreakdown, LookupResult, StreamResult, TrafficStats};
+pub use error::FafnirError;
+pub use index::{IndexSet, QueryId, VectorIndex};
+pub use item::{Header, Item, PendingQuery};
+pub use pe::{PeOpCounts, ProcessingElement};
+pub use placement::{EmbeddingSource, StripedSource};
+pub use reduce::ReduceOp;
+pub use timing::PeTiming;
+pub use tree::{ReductionTree, TreeRun, TreeStats};
+pub use verify::{verify_engine, VerificationReport};

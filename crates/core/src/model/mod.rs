@@ -1,0 +1,10 @@
+//! Analytic hardware models reproduced from the paper: buffer sizing
+//! (Table I), connection counts (Sec. IV-A), ASIC area/power (Table VI,
+//! Fig. 16b) and FPGA utilization/power (Table V, Fig. 16a).
+
+pub mod area_power;
+pub mod buffers;
+pub mod connections;
+pub mod energy;
+pub mod fpga;
+pub mod report;

@@ -1,0 +1,154 @@
+//! Human-readable deployment reports: how a FAFNIR tree over a given memory
+//! system decomposes into DIMM/rank and channel nodes, with per-node PE
+//! counts, area, power, and connection totals (Fig. 4a's floorplan view).
+
+use crate::config::FafnirConfig;
+use crate::model::area_power::AsicModel;
+use crate::model::connections::ConnectionModel;
+
+/// Structural summary of one deployment.
+///
+/// # Examples
+///
+/// ```
+/// use fafnir_core::model::report::DeploymentSummary;
+/// use fafnir_core::FafnirConfig;
+///
+/// let summary = DeploymentSummary::new(&FafnirConfig::paper_default(), 32, 4);
+/// assert_eq!(summary.total_pes, 31);
+/// assert!(summary.render().contains("31"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeploymentSummary {
+    /// Total ranks spanned.
+    pub ranks: usize,
+    /// Leaf PEs.
+    pub leaf_pes: usize,
+    /// Total PEs.
+    pub total_pes: usize,
+    /// Tree levels.
+    pub levels: usize,
+    /// DIMM/rank nodes (7-PE groups over 8 ranks, Fig. 4a).
+    pub dimm_rank_nodes: usize,
+    /// Channel nodes (3-PE groups joining 4 channels).
+    pub channel_nodes: usize,
+    /// PEs not covered by the standard node grouping (non-paper scales).
+    pub ungrouped_pes: usize,
+    /// Total ASIC area in mm².
+    pub area_mm2: f64,
+    /// Total ASIC power in mW.
+    pub power_mw: f64,
+    /// Tree connections (vs all-to-all, for 4 cores).
+    pub tree_connections: usize,
+    /// All-to-all connections for the same system.
+    pub all_to_all_connections: usize,
+}
+
+impl DeploymentSummary {
+    /// Computes the summary for a configuration over `ranks` ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ranks` is not a positive multiple of the leaf ratio.
+    #[must_use]
+    pub fn new(config: &FafnirConfig, ranks: usize, cores: usize) -> Self {
+        let leaf_pes = config.leaf_count(ranks);
+        let total_pes = config.pe_count(ranks);
+        let levels = leaf_pes.trailing_zeros() as usize + 1;
+        // The paper's grouping: a DIMM/rank node covers the 7-PE subtree
+        // over 8 ranks (at 1PE:2R); a channel node joins four of them.
+        let ranks_per_dimm_node = 8;
+        let dimm_rank_nodes = ranks / ranks_per_dimm_node;
+        let grouped = dimm_rank_nodes * 7;
+        let channel_nodes = usize::from(dimm_rank_nodes >= 2);
+        let channel_pes = if channel_nodes == 1 { dimm_rank_nodes - 1 } else { 0 };
+        let ungrouped_pes = total_pes.saturating_sub(grouped + channel_pes);
+        let asic = AsicModel::asap7();
+        let area_mm2 = if ungrouped_pes == 0 && dimm_rank_nodes > 0 {
+            asic.system_area_mm2(dimm_rank_nodes, channel_nodes)
+        } else {
+            asic.tree_area_mm2(total_pes)
+        };
+        let power_mw = total_pes as f64 * asic.pe_power_mw
+            + dimm_rank_nodes as f64 * asic.dimm_node_glue_mw
+            + channel_nodes as f64 * asic.channel_node_glue_mw;
+        let connections = ConnectionModel::new(ranks, cores);
+        Self {
+            ranks,
+            leaf_pes,
+            total_pes,
+            levels,
+            dimm_rank_nodes,
+            channel_nodes,
+            ungrouped_pes,
+            area_mm2,
+            power_mw,
+            tree_connections: connections.fafnir_tree(),
+            all_to_all_connections: connections.all_to_all(),
+        }
+    }
+
+    /// Renders the summary as an aligned multi-line report.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "FAFNIR deployment over {} ranks\n\
+               leaf PEs        : {}\n\
+               total PEs       : {} ({} levels)\n\
+               DIMM/rank nodes : {} (7 PEs each)\n\
+               channel nodes   : {} (joining the DIMM/rank nodes)\n\
+               ungrouped PEs   : {}\n\
+               ASIC area       : {:.2} mm2 at 7 nm\n\
+               ASIC power      : {:.1} mW\n\
+               connections     : {} (tree) vs {} (all-to-all)\n",
+            self.ranks,
+            self.leaf_pes,
+            self.total_pes,
+            self.levels,
+            self.dimm_rank_nodes,
+            self.channel_nodes,
+            self.ungrouped_pes,
+            self.area_mm2,
+            self.power_mw,
+            self.tree_connections,
+            self.all_to_all_connections,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_system_summary_matches_fig4a() {
+        let summary = DeploymentSummary::new(&FafnirConfig::paper_default(), 32, 4);
+        assert_eq!(summary.leaf_pes, 16);
+        assert_eq!(summary.total_pes, 31);
+        assert_eq!(summary.levels, 5);
+        assert_eq!(summary.dimm_rank_nodes, 4);
+        assert_eq!(summary.channel_nodes, 1);
+        assert_eq!(summary.ungrouped_pes, 0, "4×7 + 3 PEs cover the whole tree");
+        assert!((summary.area_mm2 - 1.25).abs() < 0.05);
+        assert!((summary.power_mw - 111.64).abs() < 0.5);
+        assert_eq!(summary.tree_connections, 66);
+    }
+
+    #[test]
+    fn small_system_falls_back_to_generic_accounting() {
+        let summary = DeploymentSummary::new(&FafnirConfig::paper_default(), 8, 4);
+        assert_eq!(summary.dimm_rank_nodes, 1);
+        assert_eq!(summary.channel_nodes, 0);
+        assert_eq!(summary.ungrouped_pes, 0);
+        assert!(summary.area_mm2 > 0.0);
+    }
+
+    #[test]
+    fn render_is_nonempty_and_mentions_ranks() {
+        let summary = DeploymentSummary::new(&FafnirConfig::paper_default(), 32, 4);
+        let text = summary.render();
+        assert!(text.contains("32 ranks"));
+        assert!(text.contains("31"));
+        assert!(text.lines().count() >= 8);
+    }
+}

@@ -1,0 +1,153 @@
+//! Mapping embedding vectors to memory and producing their values.
+//!
+//! Fig. 4b of the paper maps embedding vectors (512 B each) to distinct
+//! ranks, with the rank selected by index bits. The engine only needs two
+//! things from a placement: *where* a vector lives (to generate the DRAM
+//! read and to pick the leaf PE it enters the tree through) and *what* its
+//! value is (to validate tree outputs functionally). Workload crates
+//! implement [`EmbeddingSource`] for realistic table layouts; the built-in
+//! [`StripedSource`] reproduces the paper's rank-striped mapping with
+//! deterministic synthetic values.
+
+use fafnir_mem::{Location, Topology};
+
+use crate::index::VectorIndex;
+
+/// Provides placement and values for embedding vectors.
+pub trait EmbeddingSource {
+    /// The DRAM location (rank, bank, row, column) holding the first byte of
+    /// the vector.
+    fn location_of(&self, index: VectorIndex) -> Location;
+
+    /// The vector's value, `vector_dim` elements long.
+    fn value_of(&self, index: VectorIndex) -> Vec<f32>;
+
+    /// Elements per vector.
+    fn vector_dim(&self) -> usize;
+}
+
+/// The paper's Fig. 4b layout: vector `i` lives on rank `i mod ranks`,
+/// occupying consecutive columns of a row chosen by `i / ranks`, with
+/// deterministic pseudo-random values derived from the index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripedSource {
+    topology: Topology,
+    vector_dim: usize,
+}
+
+impl StripedSource {
+    /// A striped source over the given topology and vector dimension.
+    #[must_use]
+    pub fn new(topology: Topology, vector_dim: usize) -> Self {
+        Self { topology, vector_dim }
+    }
+
+    /// Bytes per vector.
+    #[must_use]
+    pub fn vector_bytes(&self) -> usize {
+        self.vector_dim * std::mem::size_of::<f32>()
+    }
+
+    /// The topology this source stripes over.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+}
+
+impl EmbeddingSource for StripedSource {
+    fn location_of(&self, index: VectorIndex) -> Location {
+        let ranks = self.topology.total_ranks();
+        let global_rank = index.value() as usize % ranks;
+        let slot = index.value() as usize / ranks;
+        let bursts_per_vector = self.vector_bytes().div_ceil(self.topology.burst_bytes);
+        let vectors_per_row = (self.topology.columns / bursts_per_vector).max(1);
+        let banks = self.topology.banks_per_rank();
+        // Walk bank-group-major so consecutive slots alternate bank groups
+        // (maximizing bank-level parallelism within a rank).
+        let flat_bank = slot % banks;
+        let row = (slot / banks / vectors_per_row) % self.topology.rows;
+        let column = (slot / banks % vectors_per_row) * bursts_per_vector;
+        Location {
+            channel: global_rank / self.topology.ranks_per_channel(),
+            rank: global_rank % self.topology.ranks_per_channel(),
+            bank_group: flat_bank / self.topology.banks_per_group,
+            bank: flat_bank % self.topology.banks_per_group,
+            row,
+            column,
+        }
+    }
+
+    fn value_of(&self, index: VectorIndex) -> Vec<f32> {
+        // Deterministic, cheap, and distinct per index: a small LCG seeded by
+        // the index, one step per element.
+        let mut state = u64::from(index.value()).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        (0..self.vector_dim)
+            .map(|_| {
+                state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                // Map the top bits into a small, well-conditioned float.
+                ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    fn vector_dim(&self) -> usize {
+        self.vector_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fafnir_mem::MemoryConfig;
+
+    fn source() -> StripedSource {
+        StripedSource::new(MemoryConfig::ddr4_2400_4ch().topology, 128)
+    }
+
+    #[test]
+    fn consecutive_indices_stripe_across_ranks() {
+        let source = source();
+        let topology = *source.topology();
+        let ranks: Vec<usize> =
+            (0..32).map(|i| source.location_of(VectorIndex(i)).global_rank(&topology)).collect();
+        let mut sorted = ranks.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>(), "all 32 ranks covered: {ranks:?}");
+    }
+
+    #[test]
+    fn locations_are_in_bounds_and_vector_aligned() {
+        let source = source();
+        let topology = *source.topology();
+        for i in (0..100_000).step_by(97) {
+            let loc = source.location_of(VectorIndex(i));
+            assert!(loc.in_bounds(&topology), "out of bounds for {i}: {loc:?}");
+            assert_eq!(loc.column % 8, 0, "512 B vectors start on an 8-burst boundary");
+        }
+    }
+
+    #[test]
+    fn same_rank_vectors_use_different_banks_first() {
+        let source = source();
+        let topology = *source.topology();
+        // Vectors 0, 32, 64 … all live on rank 0; their banks should differ
+        // before rows repeat.
+        let a = source.location_of(VectorIndex(0));
+        let b = source.location_of(VectorIndex(32));
+        assert_eq!(a.global_rank(&topology), b.global_rank(&topology));
+        assert_ne!(a.flat_bank(&topology), b.flat_bank(&topology));
+    }
+
+    #[test]
+    fn values_are_deterministic_and_distinct() {
+        let source = source();
+        let a1 = source.value_of(VectorIndex(7));
+        let a2 = source.value_of(VectorIndex(7));
+        let b = source.value_of(VectorIndex(8));
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert_eq!(a1.len(), 128);
+        assert!(a1.iter().all(|x| x.abs() <= 0.5));
+    }
+}

@@ -1,0 +1,194 @@
+//! Reduction operators applied element-wise to gathered vectors.
+//!
+//! Recommendation systems reduce the looked-up embedding vectors with a
+//! simple element-wise operation — summation, average, minimum, maximum
+//! (Sec. II of the paper). All of them are associative and commutative,
+//! which is what lets FAFNIR apply them *gradually* along arbitrary tree
+//! paths. `Mean` is realized as a running sum with a count finalized at the
+//! root, the standard trick for tree reduction.
+
+use serde::{Deserialize, Serialize};
+
+/// An element-wise reduction operator.
+///
+/// # Examples
+///
+/// ```
+/// use fafnir_core::ReduceOp;
+///
+/// assert_eq!(ReduceOp::Sum.combine(&[1.0, 2.0], &[3.0, 4.0]), vec![4.0, 6.0]);
+/// assert_eq!(ReduceOp::Max.combine(&[1.0, 5.0], &[3.0, 4.0]), vec![3.0, 5.0]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ReduceOp {
+    /// Element-wise sum (the paper's default).
+    #[default]
+    Sum,
+    /// Element-wise mean; combined as a sum and divided by the vector count
+    /// at the root.
+    Mean,
+    /// Element-wise maximum.
+    Max,
+    /// Element-wise minimum.
+    Min,
+}
+
+impl ReduceOp {
+    /// Combines `b` into `a` element-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn combine_into(self, a: &mut [f32], b: &[f32]) {
+        assert_eq!(a.len(), b.len(), "reduction operands must have equal dimension");
+        match self {
+            ReduceOp::Sum | ReduceOp::Mean => {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+            }
+            ReduceOp::Max => {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x = x.max(*y);
+                }
+            }
+            ReduceOp::Min => {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x = x.min(*y);
+                }
+            }
+        }
+    }
+
+    /// Returns the combination of two operands as a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    #[must_use]
+    pub fn combine(self, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut out = a.to_vec();
+        self.combine_into(&mut out, b);
+        out
+    }
+
+    /// Applies the root-side finalization: for `Mean`, divides by the number
+    /// of reduced vectors; identity otherwise.
+    pub fn finalize(self, value: &mut [f32], count: usize) {
+        if self == ReduceOp::Mean && count > 0 {
+            let scale = 1.0 / count as f32;
+            for x in value.iter_mut() {
+                *x *= scale;
+            }
+        }
+    }
+
+    /// Reference reduction of many vectors (used to validate tree outputs).
+    ///
+    /// Returns `None` for an empty input.
+    #[must_use]
+    pub fn reduce_all<'a, I>(self, vectors: I) -> Option<Vec<f32>>
+    where
+        I: IntoIterator<Item = &'a [f32]>,
+    {
+        let mut iter = vectors.into_iter();
+        let first = iter.next()?;
+        let mut acc = first.to_vec();
+        let mut count = 1;
+        for v in iter {
+            self.combine_into(&mut acc, v);
+            count += 1;
+        }
+        self.finalize(&mut acc, count);
+        Some(acc)
+    }
+}
+
+impl std::fmt::Display for ReduceOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ReduceOp::Sum => "sum",
+            ReduceOp::Mean => "mean",
+            ReduceOp::Max => "max",
+            ReduceOp::Min => "min",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sum_combines_elementwise() {
+        assert_eq!(ReduceOp::Sum.combine(&[1.0, 2.0], &[3.0, 4.0]), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn max_and_min_select_extremes() {
+        assert_eq!(ReduceOp::Max.combine(&[1.0, 5.0], &[3.0, 4.0]), vec![3.0, 5.0]);
+        assert_eq!(ReduceOp::Min.combine(&[1.0, 5.0], &[3.0, 4.0]), vec![1.0, 4.0]);
+    }
+
+    #[test]
+    fn mean_finalizes_at_root() {
+        let mut acc = ReduceOp::Mean.combine(&[2.0], &[4.0]);
+        ReduceOp::Mean.finalize(&mut acc, 2);
+        assert_eq!(acc, vec![3.0]);
+    }
+
+    #[test]
+    fn reduce_all_handles_empty_and_single() {
+        assert_eq!(ReduceOp::Sum.reduce_all(std::iter::empty()), None);
+        let single = [1.5f32, 2.5];
+        assert_eq!(ReduceOp::Sum.reduce_all([single.as_slice()]), Some(vec![1.5, 2.5]));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal dimension")]
+    fn mismatched_dimensions_panic() {
+        let _ = ReduceOp::Sum.combine(&[1.0], &[1.0, 2.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn tree_order_does_not_change_sum(
+            values in proptest::collection::vec(
+                proptest::collection::vec(-100.0f32..100.0, 4), 2..6)
+        ) {
+            // Left fold == balanced fold for Sum up to float tolerance.
+            let slices: Vec<&[f32]> = values.iter().map(Vec::as_slice).collect();
+            let linear = ReduceOp::Sum.reduce_all(slices.iter().copied()).unwrap();
+            // Balanced: reduce pairs, then reduce results.
+            let mut layer: Vec<Vec<f32>> = values.clone();
+            while layer.len() > 1 {
+                let mut next = Vec::new();
+                for chunk in layer.chunks(2) {
+                    if chunk.len() == 2 {
+                        next.push(ReduceOp::Sum.combine(&chunk[0], &chunk[1]));
+                    } else {
+                        next.push(chunk[0].clone());
+                    }
+                }
+                layer = next;
+            }
+            for (a, b) in linear.iter().zip(&layer[0]) {
+                prop_assert!((a - b).abs() <= 1e-3_f32.max(a.abs() * 1e-4));
+            }
+        }
+
+        #[test]
+        fn max_is_idempotent_and_commutative(
+            a in proptest::collection::vec(-100.0f32..100.0, 8),
+            b in proptest::collection::vec(-100.0f32..100.0, 8),
+        ) {
+            let ab = ReduceOp::Max.combine(&a, &b);
+            let ba = ReduceOp::Max.combine(&b, &a);
+            prop_assert_eq!(&ab, &ba);
+            let aa = ReduceOp::Max.combine(&a, &a);
+            prop_assert_eq!(aa, a);
+        }
+    }
+}

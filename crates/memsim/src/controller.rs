@@ -1,0 +1,742 @@
+//! Per-channel FR-FCFS memory controller.
+//!
+//! The controller works at *burst* granularity: the [`crate::MemorySystem`]
+//! splits every request into 64-byte bursts and enqueues each burst on the
+//! channel that owns it. Each command-clock cycle the controller issues at
+//! most one command on the channel command bus, picked FR-FCFS:
+//!
+//! 1. the oldest burst whose row is already open and whose column command is
+//!    legal now (the "first-ready" / row-hit-first part), else
+//! 2. the oldest burst whose bank is idle and may be activated, else
+//! 3. the oldest burst whose bank holds a conflicting row that may be
+//!    precharged.
+//!
+//! Data beats of reads and writes reserve the shared [`DataBus`], which is
+//! what serializes rank-parallel accesses on one channel.
+//!
+//! Simplifications (documented in DESIGN.md): refresh is not modelled, and
+//! under the closed-page policy the precharge after the last burst to a row
+//! does not consume a command-bus slot.
+
+use serde::{Deserialize, Serialize};
+
+use crate::address::Location;
+use crate::bank::RowOutcome;
+use crate::channel::DataBus;
+use crate::config::{MemoryConfig, PagePolicy, SchedulerPolicy};
+use crate::rank::Rank;
+use crate::request::{AccessKind, RequestId};
+use crate::stats::MemoryStats;
+use crate::verify::{CommandKind, CommandLog, CommandRecord};
+use crate::Cycle;
+
+/// One 64-byte burst of a request, as queued at a channel controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BurstJob {
+    /// Owning request.
+    pub id: RequestId,
+    /// Index of this burst within the request.
+    pub burst_index: u32,
+    /// Decoded target coordinates.
+    pub location: Location,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Earliest cycle this burst may be served.
+    pub arrival: Cycle,
+    /// Global submission order, used for FCFS tie-breaking.
+    pub seq: u64,
+}
+
+/// Outcome of one completed burst, reported back to the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BurstResult {
+    /// Owning request.
+    pub id: RequestId,
+    /// Index of this burst within the request.
+    pub burst_index: u32,
+    /// Cycle the column command issued.
+    pub issue_cycle: Cycle,
+    /// Cycle the last data beat crossed the bus.
+    pub finish_cycle: Cycle,
+    /// How the burst met the row buffer.
+    pub outcome: RowOutcome,
+}
+
+/// Book-keeping flags for a queued burst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+struct BurstProgress {
+    issued_pre: bool,
+    issued_act: bool,
+}
+
+/// Scheduling-window size: only the oldest `SCHED_WINDOW` queued bursts are
+/// considered for issue each cycle, like a real controller's bounded
+/// transaction queue. Keeps per-cycle work O(window) for large backlogs.
+pub const SCHED_WINDOW: usize = 48;
+
+/// FR-FCFS controller for one channel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelController {
+    config: MemoryConfig,
+    ranks: Vec<Rank>,
+    /// Shared channel bus (one entry), or one bus per rank when the
+    /// configuration enables the NDP data path.
+    buses: Vec<DataBus>,
+    queue: Vec<(BurstJob, BurstProgress)>,
+    stats: MemoryStats,
+    /// Per-rank cycle of the next due refresh (staggered across ranks).
+    next_refresh: Vec<Cycle>,
+    /// Per-rank cycle until which the rank is blocked by a refresh.
+    refresh_until: Vec<Cycle>,
+    /// Optional command log for independent timing verification.
+    log: Option<CommandLog>,
+    /// This controller's channel index (for fault injection).
+    channel: usize,
+}
+
+impl ChannelController {
+    /// A controller for one channel of `config`, all banks idle; channel
+    /// index 0 (see [`ChannelController::with_channel`]).
+    #[must_use]
+    pub fn new(config: MemoryConfig) -> Self {
+        Self::with_channel(config, 0)
+    }
+
+    /// A controller knowing its channel index (needed for per-rank fault
+    /// injection).
+    #[must_use]
+    pub fn with_channel(config: MemoryConfig, channel: usize) -> Self {
+        let ranks: Vec<Rank> = (0..config.topology.ranks_per_channel())
+            .map(|_| Rank::new(&config.topology))
+            .collect();
+        let bus_count = if config.ndp_data_path { ranks.len() } else { 1 };
+        let rank_count = ranks.len();
+        // Stagger refreshes so ranks do not all block at once.
+        let next_refresh = (0..rank_count)
+            .map(|r| (r as Cycle + 1) * config.timing.tREFI / rank_count.max(1) as Cycle)
+            .collect();
+        Self {
+            config,
+            ranks,
+            buses: vec![DataBus::new(); bus_count],
+            queue: Vec::new(),
+            stats: MemoryStats::new(),
+            next_refresh,
+            refresh_until: vec![0; rank_count],
+            log: None,
+            channel,
+        }
+    }
+
+    /// Extra read cycles if `rank` is the configured straggler.
+    fn straggler_penalty(&self, rank: usize) -> u64 {
+        match self.config.straggler {
+            Some((channel, straggler_rank, penalty))
+                if channel == self.channel && straggler_rank == rank =>
+            {
+                penalty
+            }
+            _ => 0,
+        }
+    }
+
+    /// Starts recording every issued command (see [`crate::verify`]).
+    pub fn enable_command_log(&mut self) {
+        self.log = Some(CommandLog::new());
+    }
+
+    /// Takes the recorded log, leaving logging enabled with a fresh log.
+    pub fn take_command_log(&mut self) -> Option<CommandLog> {
+        self.log.replace(CommandLog::new())
+    }
+
+    /// Records a command if logging is enabled.
+    fn record(&mut self, cycle: Cycle, kind: CommandKind, rank: usize, bank: usize, row: usize) {
+        if let Some(log) = &mut self.log {
+            log.push(CommandRecord { cycle, kind, rank, bank, row });
+        }
+    }
+
+    /// Index of the data bus serving `rank`.
+    fn bus_index(&self, rank: usize) -> usize {
+        if self.config.ndp_data_path {
+            rank
+        } else {
+            0
+        }
+    }
+
+    /// Adds a burst to the queue.
+    pub fn enqueue(&mut self, job: BurstJob) {
+        self.queue.push((job, BurstProgress::default()));
+        self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.queue.len() as u64);
+    }
+
+    /// True when no bursts are waiting.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Number of queued bursts.
+    #[must_use]
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> &MemoryStats {
+        &self.stats
+    }
+
+    /// Data-bus occupancy trackers (one, or one per rank under the NDP data
+    /// path).
+    #[must_use]
+    pub fn buses(&self) -> &[DataBus] {
+        &self.buses
+    }
+
+    /// Advances one command-clock cycle, issuing at most one command.
+    ///
+    /// Completed bursts are appended to `out` (their `finish_cycle` may lie
+    /// in the future relative to `now`; the data is in flight).
+    pub fn tick(&mut self, now: Cycle, out: &mut Vec<BurstResult>) {
+        if self.config.refresh {
+            self.service_refreshes(now);
+        }
+        if let PagePolicy::Adaptive { timeout } = self.config.page_policy {
+            self.service_adaptive_closes(now, timeout);
+        }
+        if self.try_issue_column(now, out) {
+            return;
+        }
+        if self.try_issue_act(now) {
+            return;
+        }
+        let _ = self.try_issue_pre(now);
+    }
+
+    /// Fires any due refresh: close the rank's banks and block it for tRFC.
+    ///
+    /// A refresh is deferred while any open row cannot legally precharge
+    /// yet (tRAS/tRTP/tWR), exactly as a real controller holds REF behind
+    /// the precharge-all.
+    fn service_refreshes(&mut self, now: Cycle) {
+        let timing = self.config.timing;
+        for rank_index in 0..self.ranks.len() {
+            if now >= self.next_refresh[rank_index] && now >= self.refresh_until[rank_index] {
+                let all_precharge_ready = (0..self.ranks[rank_index].bank_count()).all(|bank| {
+                    let bank = self.ranks[rank_index].bank(bank);
+                    matches!(bank.state(), crate::bank::BankState::Idle)
+                        || bank.pre_ready(now) <= now
+                });
+                if !all_precharge_ready {
+                    continue;
+                }
+                let rank = &mut self.ranks[rank_index];
+                for bank in 0..rank.bank_count() {
+                    rank.bank_mut(bank).force_precharge(now);
+                }
+                self.refresh_until[rank_index] = now + timing.tRFC;
+                // Allow drift instead of cascading catch-up refreshes.
+                self.next_refresh[rank_index] = now + timing.tREFI;
+                self.record(now, CommandKind::Ref, rank_index, 0, 0);
+                self.stats.refreshes += 1;
+            }
+        }
+    }
+
+    /// Speculatively closes rows idle past the adaptive timeout with no
+    /// queued access (free of command-bus cost, like the closed-page
+    /// auto-precharge — see the module docs).
+    fn service_adaptive_closes(&mut self, now: Cycle, timeout: u64) {
+        let timing = self.config.timing;
+        let topology = self.config.topology;
+        for rank_index in 0..self.ranks.len() {
+            for flat in 0..self.ranks[rank_index].bank_count() {
+                let bank = self.ranks[rank_index].bank(flat);
+                let crate::bank::BankState::Active(open_row) = bank.state() else { continue };
+                // Idle long enough? pre_ready is the last activity horizon.
+                if now < bank.pre_ready(0).saturating_add(timeout) {
+                    continue;
+                }
+                let wanted = self.queue.iter().any(|(job, _)| {
+                    job.location.rank == rank_index
+                        && job.location.flat_bank(&topology) == flat
+                        && job.location.row == open_row
+                });
+                if wanted {
+                    continue;
+                }
+                let at = self.ranks[rank_index].bank(flat).pre_ready(now);
+                self.record(at, CommandKind::Pre, rank_index, flat, 0);
+                self.ranks[rank_index].bank_mut(flat).precharge(at, &timing);
+                self.stats.precharges += 1;
+            }
+        }
+    }
+
+    /// True when `rank` is currently blocked by a refresh.
+    fn rank_refreshing(&self, rank: usize, now: Cycle) -> bool {
+        self.config.refresh && now < self.refresh_until[rank]
+    }
+
+    /// The earliest cycle at which any queued burst could possibly make
+    /// progress, used by the system to fast-forward idle gaps.
+    #[must_use]
+    pub fn next_interesting_cycle(&self, now: Cycle) -> Option<Cycle> {
+        let timing = &self.config.timing;
+        self.queue
+            .iter()
+            .take(SCHED_WINDOW)
+            .map(|(job, _)| {
+                let rank = &self.ranks[job.location.rank];
+                let bank = rank.bank(job.location.flat_bank(&self.config.topology));
+                let flat = job.location.flat_bank(&self.config.topology);
+                let device_ready = match bank.outcome_for(job.location.row) {
+                    RowOutcome::Hit => {
+                        bank.column_ready(now).max(rank.column_ready(now, flat, timing))
+                    }
+                    RowOutcome::Miss => bank.act_ready(now).max(rank.act_ready(now, flat, timing)),
+                    RowOutcome::Conflict => bank.pre_ready(now),
+                };
+                let device_ready = if self.rank_refreshing(job.location.rank, now) {
+                    device_ready.max(self.refresh_until[job.location.rank])
+                } else {
+                    device_ready
+                };
+                device_ready.max(job.arrival)
+            })
+            .min()
+    }
+
+    /// Under strict FCFS only the oldest arrived burst may issue.
+    fn fcfs_blocks(&self, pos: usize, now: Cycle) -> bool {
+        self.config.scheduler == SchedulerPolicy::Fcfs
+            && self
+                .queue
+                .iter()
+                .take(pos)
+                .any(|(older, _)| older.arrival <= now)
+    }
+
+    /// Attempts to issue a RD/WR for the oldest ready row-hit burst.
+    fn try_issue_column(&mut self, now: Cycle, out: &mut Vec<BurstResult>) -> bool {
+        let timing = self.config.timing;
+        let topology = self.config.topology;
+        let mut best: Option<(usize, u64)> = None;
+        for (pos, (job, _)) in self.queue.iter().take(SCHED_WINDOW).enumerate() {
+            if job.arrival > now
+                || self.rank_refreshing(job.location.rank, now)
+                || self.fcfs_blocks(pos, now)
+            {
+                continue;
+            }
+            let rank = &self.ranks[job.location.rank];
+            let flat = job.location.flat_bank(&topology);
+            let bank = rank.bank(flat);
+            if bank.outcome_for(job.location.row) != RowOutcome::Hit {
+                continue;
+            }
+            if bank.column_ready(now) > now || rank.column_ready(now, flat, &timing) > now {
+                continue;
+            }
+            // The data phase must start exactly when the device produces it;
+            // if the bus is busy then, hold the command.
+            let data_start = match job.kind {
+                AccessKind::Read => now + timing.tCL,
+                AccessKind::Write => now + timing.tCWL,
+            };
+            let bus = &self.buses[self.bus_index(job.location.rank)];
+            if bus.ready(data_start, job.location.rank, &timing) != data_start {
+                continue;
+            }
+            if best.is_none_or(|(_, seq)| job.seq < seq) {
+                best = Some((pos, job.seq));
+            }
+        }
+        let Some((pos, _)) = best else { return false };
+        let (job, progress) = self.queue.remove(pos);
+        let flat = job.location.flat_bank(&topology);
+        let kind = match job.kind {
+            AccessKind::Read => CommandKind::Rd,
+            AccessKind::Write => CommandKind::Wr,
+        };
+        self.record(now, kind, job.location.rank, flat, job.location.row);
+        let rank = &mut self.ranks[job.location.rank];
+        let finish = match job.kind {
+            AccessKind::Read => {
+                self.stats.reads += 1;
+                rank.bank_mut(flat).read(now, &timing)
+            }
+            AccessKind::Write => {
+                self.stats.writes += 1;
+                rank.bank_mut(flat).write(now, &timing)
+            }
+        };
+        rank.record_column(now, flat);
+        let finish = finish + self.straggler_penalty(job.location.rank);
+        let data_start = finish - timing.tBL;
+        let bus_index = self.bus_index(job.location.rank);
+        self.buses[bus_index].reserve(data_start, timing.tBL, job.location.rank);
+        self.stats.bytes_transferred += topology.burst_bytes as u64;
+        let outcome = if progress.issued_pre {
+            RowOutcome::Conflict
+        } else if progress.issued_act {
+            RowOutcome::Miss
+        } else {
+            RowOutcome::Hit
+        };
+        match outcome {
+            RowOutcome::Hit => self.stats.row_hits += 1,
+            RowOutcome::Miss => self.stats.row_misses += 1,
+            RowOutcome::Conflict => self.stats.row_conflicts += 1,
+        }
+        self.maybe_auto_precharge(&job, finish);
+        out.push(BurstResult {
+            id: job.id,
+            burst_index: job.burst_index,
+            issue_cycle: now,
+            finish_cycle: finish,
+            outcome,
+        });
+        true
+    }
+
+    /// Attempts to activate the row needed by the oldest head-of-bank burst.
+    fn try_issue_act(&mut self, now: Cycle) -> bool {
+        let timing = self.config.timing;
+        let topology = self.config.topology;
+        let mut best: Option<(usize, u64)> = None;
+        for (pos, (job, _)) in self.queue.iter().take(SCHED_WINDOW).enumerate() {
+            if job.arrival > now
+                || self.rank_refreshing(job.location.rank, now)
+                || self.fcfs_blocks(pos, now)
+                || !self.is_head_of_bank(pos)
+            {
+                continue;
+            }
+            let rank = &self.ranks[job.location.rank];
+            let flat = job.location.flat_bank(&topology);
+            let bank = rank.bank(flat);
+            if bank.outcome_for(job.location.row) != RowOutcome::Miss {
+                continue;
+            }
+            if bank.act_ready(now) > now || rank.act_ready(now, flat, &timing) > now {
+                continue;
+            }
+            if best.is_none_or(|(_, seq)| job.seq < seq) {
+                best = Some((pos, job.seq));
+            }
+        }
+        let Some((pos, _)) = best else { return false };
+        let (job, progress) = &mut self.queue[pos];
+        let flat = job.location.flat_bank(&topology);
+        let row = job.location.row;
+        let rank_index = job.location.rank;
+        progress.issued_act = true;
+        self.record(now, CommandKind::Act, rank_index, flat, row);
+        let rank = &mut self.ranks[rank_index];
+        rank.bank_mut(flat).activate(now, row, &timing);
+        rank.record_act(now, flat);
+        self.stats.activations += 1;
+        true
+    }
+
+    /// Attempts to precharge a bank whose open row blocks its oldest burst.
+    fn try_issue_pre(&mut self, now: Cycle) -> bool {
+        let timing = self.config.timing;
+        let topology = self.config.topology;
+        let mut best: Option<(usize, u64)> = None;
+        for (pos, (job, _)) in self.queue.iter().take(SCHED_WINDOW).enumerate() {
+            if job.arrival > now
+                || self.rank_refreshing(job.location.rank, now)
+                || self.fcfs_blocks(pos, now)
+                || !self.is_head_of_bank(pos)
+            {
+                continue;
+            }
+            let rank = &self.ranks[job.location.rank];
+            let flat = job.location.flat_bank(&topology);
+            let bank = rank.bank(flat);
+            if bank.outcome_for(job.location.row) != RowOutcome::Conflict {
+                continue;
+            }
+            if bank.pre_ready(now) > now {
+                continue;
+            }
+            if best.is_none_or(|(_, seq)| job.seq < seq) {
+                best = Some((pos, job.seq));
+            }
+        }
+        let Some((pos, _)) = best else { return false };
+        let (job, progress) = &mut self.queue[pos];
+        let flat = job.location.flat_bank(&topology);
+        let rank_index = job.location.rank;
+        progress.issued_pre = true;
+        self.record(now, CommandKind::Pre, rank_index, flat, 0);
+        self.ranks[rank_index].bank_mut(flat).precharge(now, &timing);
+        self.stats.precharges += 1;
+        true
+    }
+
+    /// True when no older queued burst targets the same bank.
+    fn is_head_of_bank(&self, pos: usize) -> bool {
+        let (job, _) = &self.queue[pos];
+        let topology = &self.config.topology;
+        let key = (job.location.rank, job.location.flat_bank(topology));
+        !self.queue.iter().any(|(other, _)| {
+            other.seq < job.seq && (other.location.rank, other.location.flat_bank(topology)) == key
+        })
+    }
+
+    /// Under the closed-page policy, precharges after the last queued burst
+    /// to this row (free of command-bus cost — see module docs).
+    fn maybe_auto_precharge(&mut self, job: &BurstJob, data_end: Cycle) {
+        if self.config.page_policy != PagePolicy::Closed {
+            return;
+        }
+        let topology = &self.config.topology;
+        let key = (job.location.rank, job.location.flat_bank(topology), job.location.row);
+        let more_to_row = self.queue.iter().any(|(other, _)| {
+            (other.location.rank, other.location.flat_bank(topology), other.location.row) == key
+        });
+        if more_to_row {
+            return;
+        }
+        let flat = job.location.flat_bank(topology);
+        let timing = self.config.timing;
+        let rank_index = job.location.rank;
+        let bank = self.ranks[rank_index].bank_mut(flat);
+        let at = bank.pre_ready(data_end);
+        bank.precharge(at, &timing);
+        self.record(at, CommandKind::Pre, rank_index, flat, 0);
+        self.stats.precharges += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::AddressMapping;
+    use crate::request::Request;
+
+    fn controller(policy: PagePolicy) -> ChannelController {
+        let mut config = MemoryConfig::ddr4_2400_4ch();
+        config.page_policy = policy;
+        ChannelController::new(config)
+    }
+
+    fn job(seq: u64, location: Location, kind: AccessKind) -> BurstJob {
+        BurstJob { id: RequestId(seq), burst_index: 0, location, kind, arrival: 0, seq }
+    }
+
+    fn run_to_idle(ctrl: &mut ChannelController) -> Vec<BurstResult> {
+        let mut out = Vec::new();
+        let mut now = 0;
+        while !ctrl.is_idle() {
+            ctrl.tick(now, &mut out);
+            now += 1;
+            assert!(now < 1_000_000, "controller livelock");
+        }
+        out
+    }
+
+    #[test]
+    fn single_read_miss_takes_trcd_plus_tcl_plus_tbl() {
+        let mut ctrl = controller(PagePolicy::Open);
+        let loc = Location { row: 5, ..Location::default() };
+        ctrl.enqueue(job(0, loc, AccessKind::Read));
+        let results = run_to_idle(&mut ctrl);
+        let t = crate::config::Timing::ddr4_2400();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].outcome, RowOutcome::Miss);
+        assert_eq!(results[0].finish_cycle, t.tRCD + t.tCL + t.tBL);
+    }
+
+    #[test]
+    fn second_read_to_same_row_is_a_hit() {
+        let mut ctrl = controller(PagePolicy::Open);
+        let loc = Location { row: 5, ..Location::default() };
+        ctrl.enqueue(job(0, loc, AccessKind::Read));
+        ctrl.enqueue(job(1, Location { column: 1, ..loc }, AccessKind::Read));
+        let results = run_to_idle(&mut ctrl);
+        assert_eq!(results[1].outcome, RowOutcome::Hit);
+        assert_eq!(ctrl.stats().row_hits, 1);
+        assert_eq!(ctrl.stats().row_misses, 1);
+    }
+
+    #[test]
+    fn conflicting_row_forces_precharge() {
+        let mut ctrl = controller(PagePolicy::Open);
+        let bank = Location::default();
+        ctrl.enqueue(job(0, Location { row: 1, ..bank }, AccessKind::Read));
+        ctrl.enqueue(job(1, Location { row: 2, ..bank }, AccessKind::Read));
+        let results = run_to_idle(&mut ctrl);
+        assert_eq!(results[1].outcome, RowOutcome::Conflict);
+        assert_eq!(ctrl.stats().precharges, 1);
+        assert_eq!(ctrl.stats().activations, 2);
+    }
+
+    #[test]
+    fn closed_page_precharges_after_last_burst_to_row() {
+        let mut ctrl = controller(PagePolicy::Closed);
+        let loc = Location { row: 9, ..Location::default() };
+        ctrl.enqueue(job(0, loc, AccessKind::Read));
+        let _ = run_to_idle(&mut ctrl);
+        assert_eq!(ctrl.stats().precharges, 1);
+        // A later access to the same row misses (row was closed).
+        ctrl.enqueue(job(1, Location { column: 3, ..loc }, AccessKind::Read));
+        let mut out = Vec::new();
+        let mut now = 200;
+        while !ctrl.is_idle() {
+            ctrl.tick(now, &mut out);
+            now += 1;
+        }
+        assert_eq!(out[0].outcome, RowOutcome::Miss);
+    }
+
+    #[test]
+    fn rank_parallel_reads_overlap() {
+        // Two reads to different ranks finish much sooner than 2× a single
+        // read, because only their data beats serialize on the bus.
+        let mut ctrl = controller(PagePolicy::Open);
+        let t = crate::config::Timing::ddr4_2400();
+        ctrl.enqueue(job(0, Location { rank: 0, row: 1, ..Location::default() }, AccessKind::Read));
+        ctrl.enqueue(job(1, Location { rank: 1, row: 2, ..Location::default() }, AccessKind::Read));
+        let results = run_to_idle(&mut ctrl);
+        let last = results.iter().map(|r| r.finish_cycle).max().unwrap();
+        let single = t.tRCD + t.tCL + t.tBL;
+        assert!(last < 2 * single, "no overlap: last={last}, single={single}");
+    }
+
+    #[test]
+    fn fr_fcfs_prefers_row_hit_over_older_conflict() {
+        let mut ctrl = controller(PagePolicy::Open);
+        let bank0 = Location::default();
+        // Open row 1 on bank 0.
+        ctrl.enqueue(job(0, Location { row: 1, ..bank0 }, AccessKind::Read));
+        let mut out = Vec::new();
+        let mut now = 0;
+        while out.is_empty() {
+            ctrl.tick(now, &mut out);
+            now += 1;
+        }
+        // Older burst conflicts (row 2, bank 0); younger hits (row 1).
+        ctrl.enqueue(BurstJob { arrival: now, ..job(1, Location { row: 2, ..bank0 }, AccessKind::Read) });
+        ctrl.enqueue(BurstJob { arrival: now, ..job(2, Location { row: 1, column: 7, ..bank0 }, AccessKind::Read) });
+        let results = run_to_idle(&mut ctrl);
+        let order: Vec<u64> = results.iter().map(|r| r.id.0).collect();
+        assert_eq!(order, vec![2, 1], "row hit should bypass older conflict");
+    }
+
+    #[test]
+    fn writes_are_counted_and_complete() {
+        let mut ctrl = controller(PagePolicy::Open);
+        ctrl.enqueue(job(0, Location { row: 3, ..Location::default() }, AccessKind::Write));
+        let results = run_to_idle(&mut ctrl);
+        assert_eq!(results.len(), 1);
+        assert_eq!(ctrl.stats().writes, 1);
+        assert_eq!(ctrl.stats().reads, 0);
+    }
+
+    #[test]
+    fn adaptive_policy_closes_idle_rows_but_keeps_hot_ones() {
+        let mut config = MemoryConfig::ddr4_2400_4ch();
+        config.page_policy = PagePolicy::Adaptive { timeout: 100 };
+        let mut ctrl = ChannelController::new(config);
+        let loc = Location { row: 9, ..Location::default() };
+        ctrl.enqueue(job(0, loc, AccessKind::Read));
+        let _ = run_to_idle(&mut ctrl);
+        // Immediately after: row still open (within timeout).
+        let t = config.timing;
+        let mut out = Vec::new();
+        ctrl.enqueue(BurstJob { arrival: 60, ..job(1, Location { column: 1, ..loc }, AccessKind::Read) });
+        let mut now = 60;
+        while !ctrl.is_idle() {
+            ctrl.tick(now, &mut out);
+            now += 1;
+        }
+        assert_eq!(out[0].outcome, RowOutcome::Hit, "hot row stays open");
+        // Far beyond the timeout: an idle tick closes it, so a later access
+        // to the same row misses.
+        for idle in 0..(t.tRAS + 300) {
+            ctrl.tick(now + idle, &mut out);
+        }
+        let late = now + t.tRAS + 400;
+        ctrl.enqueue(BurstJob { arrival: late, ..job(2, Location { column: 2, ..loc }, AccessKind::Read) });
+        let mut results = Vec::new();
+        let mut cycle = late;
+        while !ctrl.is_idle() {
+            ctrl.tick(cycle, &mut results);
+            cycle += 1;
+        }
+        assert_eq!(results[0].outcome, RowOutcome::Miss, "idle row was closed");
+    }
+
+    #[test]
+    fn fcfs_never_bypasses_the_oldest_request() {
+        let mut config = MemoryConfig::ddr4_2400_4ch();
+        config.scheduler = crate::config::SchedulerPolicy::Fcfs;
+        let mut ctrl = ChannelController::new(config);
+        let bank0 = Location::default();
+        // Open row 1 on bank 0.
+        ctrl.enqueue(job(0, Location { row: 1, ..bank0 }, AccessKind::Read));
+        let mut out = Vec::new();
+        let mut now = 0;
+        while out.is_empty() {
+            ctrl.tick(now, &mut out);
+            now += 1;
+        }
+        // Older conflicting burst, younger row hit: FCFS must serve the
+        // conflict first (contrast with the FR-FCFS test above).
+        ctrl.enqueue(BurstJob { arrival: now, ..job(1, Location { row: 2, ..bank0 }, AccessKind::Read) });
+        ctrl.enqueue(BurstJob { arrival: now, ..job(2, Location { row: 1, column: 7, ..bank0 }, AccessKind::Read) });
+        let results = run_to_idle(&mut ctrl);
+        let order: Vec<u64> = results.iter().map(|r| r.id.0).collect();
+        assert_eq!(order, vec![1, 2], "FCFS preserves age order");
+    }
+
+    #[test]
+    fn refresh_blocks_the_rank_and_is_counted() {
+        let mut config = MemoryConfig::ddr4_2400_4ch();
+        config.refresh = true;
+        let mut ctrl = ChannelController::new(config);
+        let t = config.timing;
+        // A burst arriving exactly when rank 0's first refresh is due must
+        // wait out tRFC.
+        let due = t.tREFI / config.topology.ranks_per_channel() as u64;
+        ctrl.enqueue(BurstJob {
+            arrival: due,
+            ..job(0, Location { row: 5, ..Location::default() }, AccessKind::Read)
+        });
+        let mut out = Vec::new();
+        let mut now = due;
+        while out.is_empty() {
+            ctrl.tick(now, &mut out);
+            now += 1;
+            assert!(now < due + 10 * t.tRFC, "livelock");
+        }
+        assert!(ctrl.stats().refreshes >= 1);
+        // The first command could not issue before the refresh finished.
+        assert!(out[0].issue_cycle >= due + t.tRFC, "{} < {}", out[0].issue_cycle, due + t.tRFC);
+    }
+
+    #[test]
+    fn refresh_disabled_never_fires() {
+        let mut ctrl = controller(PagePolicy::Open);
+        ctrl.enqueue(job(0, Location::default(), AccessKind::Read));
+        let _ = run_to_idle(&mut ctrl);
+        assert_eq!(ctrl.stats().refreshes, 0);
+    }
+
+    #[test]
+    fn request_helper_burst_count_matches_controller_use() {
+        // Sanity link between Request::bursts and mapping granularity.
+        let config = MemoryConfig::ddr4_2400_4ch();
+        let req = Request::read(0, 512);
+        assert_eq!(req.bursts(config.topology.burst_bytes), 8);
+        let _ = AddressMapping::RowRankBankColumn;
+    }
+}

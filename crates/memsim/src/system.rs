@@ -1,0 +1,404 @@
+//! The user-facing memory system: request submission, simulation driving,
+//! and completion collection.
+
+use std::collections::HashMap;
+
+use crate::address::Location;
+use crate::controller::{BurstJob, ChannelController};
+use crate::config::MemoryConfig;
+use crate::request::{Completion, Request, RequestId};
+use crate::stats::MemoryStats;
+use crate::Cycle;
+
+/// Per-request tracking while its bursts are in flight.
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    arrival: Cycle,
+    remaining: u32,
+    start_cycle: Cycle,
+    finish_cycle: Cycle,
+    row_hits: u32,
+    row_misses: u32,
+    row_conflicts: u32,
+}
+
+/// A complete simulated DDR4 memory system.
+///
+/// Submit [`Request`]s, then either step cycle-by-cycle with
+/// [`MemorySystem::tick`] or drain everything with
+/// [`MemorySystem::run_until_idle`], and read back [`Completion`]s.
+///
+/// ```
+/// use fafnir_mem::{MemoryConfig, MemorySystem, Request};
+///
+/// let mut mem = MemorySystem::new(MemoryConfig::ddr4_2400_4ch());
+/// let a = mem.submit(Request::read(0x0000, 512));
+/// let b = mem.submit(Request::read(0x8000, 512));
+/// mem.run_until_idle();
+/// assert!(mem.completion(a).is_some() && mem.completion(b).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    config: MemoryConfig,
+    controllers: Vec<ChannelController>,
+    pending: HashMap<RequestId, Pending>,
+    completions: HashMap<RequestId, Completion>,
+    request_stats: MemoryStats,
+    next_id: u64,
+    next_seq: u64,
+    now: Cycle,
+}
+
+impl MemorySystem {
+    /// Creates a memory system from a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails [`MemoryConfig::validate`].
+    #[must_use]
+    pub fn new(config: MemoryConfig) -> Self {
+        config.validate().unwrap_or_else(|e| panic!("invalid memory config: {e}"));
+        let controllers = (0..config.topology.channels)
+            .map(|channel| ChannelController::with_channel(config, channel))
+            .collect();
+        Self {
+            config,
+            controllers,
+            pending: HashMap::new(),
+            completions: HashMap::new(),
+            request_stats: MemoryStats::new(),
+            next_id: 0,
+            next_seq: 0,
+            now: 0,
+        }
+    }
+
+    /// The configuration this system was built with.
+    #[must_use]
+    pub fn config(&self) -> &MemoryConfig {
+        &self.config
+    }
+
+    /// Current simulation cycle.
+    #[must_use]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Submits a request, splitting it into bursts routed to the owning
+    /// channels. Returns the id used to look up its [`Completion`].
+    pub fn submit(&mut self, request: Request) -> RequestId {
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+        let bursts = request.bursts(self.config.topology.burst_bytes) as u32;
+        self.pending.insert(
+            id,
+            Pending {
+                arrival: request.arrival,
+                remaining: bursts,
+                start_cycle: Cycle::MAX,
+                finish_cycle: 0,
+                row_hits: 0,
+                row_misses: 0,
+                row_conflicts: 0,
+            },
+        );
+        for burst in 0..bursts {
+            let addr = crate::PhysAddr(
+                request.addr.0 + u64::from(burst) * self.config.topology.burst_bytes as u64,
+            );
+            let location = self.config.mapping.decode(addr, &self.config.topology);
+            let job = BurstJob {
+                id,
+                burst_index: burst,
+                location,
+                kind: request.kind,
+                arrival: request.arrival,
+                seq: self.next_seq,
+            };
+            self.next_seq += 1;
+            self.controllers[location.channel].enqueue(job);
+        }
+        id
+    }
+
+    /// Convenience: submits a read of `bytes` at the explicit device
+    /// `location` (encoded through the configured mapping).
+    pub fn submit_read_at(&mut self, location: Location, bytes: usize, arrival: Cycle) -> RequestId {
+        let addr = self.config.mapping.encode(location, &self.config.topology);
+        self.submit(Request::read(addr.0, bytes).at(arrival))
+    }
+
+    /// Advances the simulation one command-clock cycle.
+    pub fn tick(&mut self) {
+        let mut results = Vec::new();
+        for controller in &mut self.controllers {
+            controller.tick(self.now, &mut results);
+        }
+        for result in results {
+            let Some(pending) = self.pending.get_mut(&result.id) else { continue };
+            pending.start_cycle = pending.start_cycle.min(result.issue_cycle);
+            pending.finish_cycle = pending.finish_cycle.max(result.finish_cycle);
+            match result.outcome {
+                crate::bank::RowOutcome::Hit => pending.row_hits += 1,
+                crate::bank::RowOutcome::Miss => pending.row_misses += 1,
+                crate::bank::RowOutcome::Conflict => pending.row_conflicts += 1,
+            }
+            pending.remaining -= 1;
+            if pending.remaining == 0 {
+                let pending = self.pending.remove(&result.id).expect("tracked");
+                self.request_stats.requests_completed += 1;
+                self.request_stats.total_request_latency +=
+                    pending.finish_cycle.saturating_sub(pending.arrival);
+                self.completions.insert(
+                    result.id,
+                    Completion {
+                        id: result.id,
+                        finish_cycle: pending.finish_cycle,
+                        start_cycle: pending.start_cycle,
+                        row_hits: pending.row_hits,
+                        row_misses: pending.row_misses,
+                        row_conflicts: pending.row_conflicts,
+                    },
+                );
+            }
+        }
+        self.now += 1;
+    }
+
+    /// Runs until every queued burst has issued, then advances the clock to
+    /// the last data beat. Returns the final cycle.
+    pub fn run_until_idle(&mut self) -> Cycle {
+        while self.controllers.iter().any(|c| !c.is_idle()) {
+            let before = self.total_queued();
+            self.tick();
+            if self.total_queued() == before {
+                // Nothing issued: fast-forward to the next cycle at which any
+                // controller could make progress.
+                if let Some(next) = self
+                    .controllers
+                    .iter()
+                    .filter(|c| !c.is_idle())
+                    .filter_map(|c| c.next_interesting_cycle(self.now))
+                    .min()
+                {
+                    self.now = self.now.max(next);
+                }
+            }
+        }
+        let last_finish =
+            self.completions.values().map(|c| c.finish_cycle).max().unwrap_or(self.now);
+        self.now = self.now.max(last_finish);
+        self.now
+    }
+
+    /// The completion record for `id`, if it has finished.
+    #[must_use]
+    pub fn completion(&self, id: RequestId) -> Option<&Completion> {
+        self.completions.get(&id)
+    }
+
+    /// Drains and returns all recorded completions (e.g. between batches).
+    pub fn take_completions(&mut self) -> Vec<Completion> {
+        let mut all: Vec<Completion> = self.completions.drain().map(|(_, c)| c).collect();
+        all.sort_by_key(|c| (c.finish_cycle, c.id));
+        all
+    }
+
+    /// Merged counters across all channels plus request-level stats.
+    #[must_use]
+    pub fn stats(&self) -> MemoryStats {
+        let mut merged = self.request_stats;
+        for controller in &self.controllers {
+            merged.merge(controller.stats());
+        }
+        merged
+    }
+
+    /// Peak data-bus utilization across all buses, over the elapsed cycles.
+    #[must_use]
+    pub fn peak_bus_utilization(&self) -> f64 {
+        self.controllers
+            .iter()
+            .flat_map(|c| c.buses().iter().map(|bus| bus.utilization(self.now)))
+            .fold(0.0, f64::max)
+    }
+
+    fn total_queued(&self) -> usize {
+        self.controllers.iter().map(ChannelController::queue_len).sum()
+    }
+
+    /// Starts recording every issued command on every channel (see
+    /// [`crate::verify`]).
+    pub fn enable_command_logs(&mut self) {
+        for controller in &mut self.controllers {
+            controller.enable_command_log();
+        }
+    }
+
+    /// Takes the per-channel command logs (empty if logging was never
+    /// enabled); logging stays on with fresh logs.
+    pub fn take_command_logs(&mut self) -> Vec<crate::verify::CommandLog> {
+        self.controllers.iter_mut().filter_map(ChannelController::take_command_log).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Timing;
+
+    #[test]
+    fn vector_read_is_eight_bursts_one_activation() {
+        let mut mem = MemorySystem::new(MemoryConfig::ddr4_2400_4ch());
+        let id = mem.submit(Request::read(0x10000, 512));
+        mem.run_until_idle();
+        let done = mem.completion(id).unwrap();
+        assert_eq!(done.row_hits + done.row_misses + done.row_conflicts, 8);
+        // One activation, seven hits: the vector streams from one row.
+        assert_eq!(mem.stats().activations, 1);
+        assert_eq!(mem.stats().row_hits, 7);
+    }
+
+    #[test]
+    fn vector_read_latency_is_activation_plus_burst_stream() {
+        let mem_config = MemoryConfig::ddr4_2400_4ch();
+        let t = Timing::ddr4_2400();
+        let mut mem = MemorySystem::new(mem_config);
+        let id = mem.submit(Request::read(0, 512));
+        mem.run_until_idle();
+        let done = mem.completion(id).unwrap();
+        // Lower bound: ACT + tRCD + tCL + 8 bursts at tCCD_L pacing.
+        let lower = t.tRCD + t.tCL + 7 * t.tCCD_L.min(t.tBL) + t.tBL;
+        assert!(done.finish_cycle >= lower, "{} < {}", done.finish_cycle, lower);
+        // And it should not be wildly above that.
+        assert!(done.finish_cycle <= lower + 3 * t.tCCD_L, "{}", done.finish_cycle);
+    }
+
+    #[test]
+    fn reads_to_different_channels_are_fully_parallel() {
+        let mut mem = MemorySystem::new(MemoryConfig::ddr4_2400_4ch());
+        // Same-rank-coordinates, different channels.
+        let base = crate::Location { row: 1, ..crate::Location::default() };
+        let mut ids = Vec::new();
+        for channel in 0..4 {
+            let loc = crate::Location { channel, ..base };
+            ids.push(mem.submit_read_at(loc, 512, 0));
+        }
+        mem.run_until_idle();
+        let finishes: Vec<Cycle> =
+            ids.iter().map(|&id| mem.completion(id).unwrap().finish_cycle).collect();
+        let spread = finishes.iter().max().unwrap() - finishes.iter().min().unwrap();
+        assert_eq!(spread, 0, "channels should not interfere: {finishes:?}");
+    }
+
+    #[test]
+    fn reads_to_same_bank_different_rows_serialize() {
+        let mut mem = MemorySystem::new(MemoryConfig::ddr4_2400_4ch());
+        let a = mem.submit_read_at(crate::Location { row: 1, ..Default::default() }, 64, 0);
+        let b = mem.submit_read_at(crate::Location { row: 2, ..Default::default() }, 64, 0);
+        mem.run_until_idle();
+        let fa = mem.completion(a).unwrap().finish_cycle;
+        let fb = mem.completion(b).unwrap().finish_cycle;
+        let t = Timing::ddr4_2400();
+        assert!(fb > fa + t.tRP, "conflict should pay precharge: {fa} vs {fb}");
+    }
+
+    #[test]
+    fn arrival_cycle_delays_service() {
+        let mut mem = MemorySystem::new(MemoryConfig::ddr4_2400_4ch());
+        let id = mem.submit(Request::read(0, 64).at(500));
+        mem.run_until_idle();
+        let done = mem.completion(id).unwrap();
+        assert!(done.start_cycle >= 500);
+    }
+
+    #[test]
+    fn take_completions_drains_in_finish_order() {
+        let mut mem = MemorySystem::new(MemoryConfig::ddr4_2400_4ch());
+        let _ = mem.submit(Request::read(0, 64));
+        let _ = mem.submit(Request::read(1 << 20, 64));
+        mem.run_until_idle();
+        let completions = mem.take_completions();
+        assert_eq!(completions.len(), 2);
+        assert!(completions[0].finish_cycle <= completions[1].finish_cycle);
+        assert!(mem.take_completions().is_empty());
+    }
+
+    #[test]
+    fn stats_accumulate_across_requests() {
+        let mut mem = MemorySystem::new(MemoryConfig::ddr4_2400_4ch());
+        for i in 0..10 {
+            mem.submit(Request::read(i * 4096, 512));
+        }
+        mem.run_until_idle();
+        let stats = mem.stats();
+        assert_eq!(stats.requests_completed, 10);
+        assert_eq!(stats.reads, 80);
+        assert!(stats.mean_request_latency() > 0.0);
+        assert!(mem.peak_bus_utilization() > 0.0);
+    }
+
+    #[test]
+    fn command_logs_verify_against_jedec_constraints() {
+        let config = MemoryConfig::ddr4_2400_4ch();
+        let mut mem = MemorySystem::new(config);
+        mem.enable_command_logs();
+        for i in 0..24u64 {
+            // Mixed sizes and overlapping banks/rows.
+            mem.submit(Request::read(i * 3_000, if i % 3 == 0 { 512 } else { 64 }));
+        }
+        mem.run_until_idle();
+        for log in mem.take_command_logs() {
+            let violations =
+                crate::verify::verify_log(&log, &config.timing, config.topology.banks_per_group);
+            assert!(violations.is_empty(), "{violations:?}");
+        }
+    }
+
+    #[test]
+    fn channel_interleaved_mapping_spreads_a_stream() {
+        let mut config = MemoryConfig::ddr4_2400_4ch();
+        config.mapping = crate::AddressMapping::ChannelInterleaved;
+        let mut mem = MemorySystem::new(config);
+        // A contiguous 2 KB stream: bursts round-robin over the channels, so
+        // all four channels carry traffic.
+        let id = mem.submit(Request::read(0, 2048));
+        mem.run_until_idle();
+        assert!(mem.completion(id).is_some());
+        let stats = mem.stats();
+        assert_eq!(stats.reads, 32);
+        // Each channel served 8 bursts: the stream completed much faster
+        // than a single-channel serial read would allow.
+        let t = config.timing;
+        let single_channel_floor = 32 * t.tBL;
+        assert!(
+            mem.completion(id).unwrap().finish_cycle < single_channel_floor + t.tRCD + t.tCL,
+            "interleaving should engage all channels"
+        );
+    }
+
+    #[test]
+    fn straggler_rank_slows_only_its_own_reads() {
+        let mut config = MemoryConfig::ddr4_2400_4ch();
+        config.straggler = Some((0, 0, 500));
+        config.ndp_data_path = true; // per-rank ports: reads are independent
+        let mut mem = MemorySystem::new(config);
+        let slow = mem.submit_read_at(crate::Location { row: 1, ..Default::default() }, 64, 0);
+        let fast = mem.submit_read_at(
+            crate::Location { rank: 1, row: 1, ..Default::default() },
+            64,
+            0,
+        );
+        mem.run_until_idle();
+        let slow_done = mem.completion(slow).unwrap().finish_cycle;
+        let fast_done = mem.completion(fast).unwrap().finish_cycle;
+        assert!(slow_done >= fast_done + 400, "slow {slow_done} vs fast {fast_done}");
+    }
+
+    #[test]
+    fn run_until_idle_on_empty_system_is_a_noop() {
+        let mut mem = MemorySystem::new(MemoryConfig::ddr4_2400_4ch());
+        assert_eq!(mem.run_until_idle(), 0);
+    }
+}

@@ -1,0 +1,280 @@
+//! Physical grounding of the SpMV timing constants.
+//!
+//! [`crate::SpmvTiming`]'s per-entry costs are calibrated to Fig. 14's
+//! ratios; this module checks they are *physically realizable* against the
+//! two hard bounds of the machine:
+//!
+//! 1. **DRAM streaming** — LIL entries stream sequentially from all ranks'
+//!    own NDP ports; the per-entry time is measured by driving the actual
+//!    `fafnir-mem` simulator with a block-sequential read pattern.
+//! 2. **Tree ingestion** — each leaf PE consumes one SIMD-vectorized group
+//!    of entries per NDP cycle (Fig. 7c's vectorization).
+//!
+//! A calibrated constant below either bound would promise impossible
+//! hardware; the tests pin `fafnir_multiply_ns` above both.
+
+use fafnir_core::PeTiming;
+use fafnir_mem::{Location, MemoryConfig, MemorySystem};
+
+use crate::fafnir_spmv::SpmvTiming;
+
+/// Bytes per streamed LIL entry: an f64 value plus a u32 row index.
+pub const ENTRY_BYTES: usize = 12;
+
+/// Measures the DRAM streaming bound by reading `blocks_per_rank` 512-byte
+/// blocks sequentially from every rank (block-sequential = row streaming)
+/// and dividing by the entries moved.
+///
+/// # Panics
+///
+/// Panics if `blocks_per_rank` is zero.
+#[must_use]
+pub fn measured_stream_bound_ns_per_entry(
+    mem_config: MemoryConfig,
+    blocks_per_rank: usize,
+) -> f64 {
+    assert!(blocks_per_rank > 0, "need at least one block per rank");
+    let mut config = mem_config;
+    config.ndp_data_path = true; // leaf PEs read over rank ports
+    let mut memory = MemorySystem::new(config);
+    let topology = config.topology;
+    let blocks_per_row = topology.row_bytes() / 512;
+    for channel in 0..topology.channels {
+        for rank in 0..topology.ranks_per_channel() {
+            for block in 0..blocks_per_rank {
+                // Walk banks round-robin, rows sequentially: the streaming
+                // layout a chunked LIL occupies.
+                let banks = topology.banks_per_rank();
+                let flat_bank = block % banks;
+                let slot = block / banks;
+                let location = Location {
+                    channel,
+                    rank,
+                    bank_group: flat_bank / topology.banks_per_group,
+                    bank: flat_bank % topology.banks_per_group,
+                    row: slot / blocks_per_row.max(1) % topology.rows,
+                    column: (slot % blocks_per_row.max(1)) * (512 / topology.burst_bytes),
+                };
+                memory.submit_read_at(location, 512, 0);
+            }
+        }
+    }
+    let done = memory.run_until_idle();
+    let total_ns = config.timing.cycles_to_ns(done);
+    let total_entries =
+        (topology.total_ranks() * blocks_per_rank * 512 / ENTRY_BYTES) as f64;
+    total_ns / total_entries
+}
+
+/// The tree-ingestion bound: `leaves` leaf PEs each consume `simd_lanes`
+/// entries per NDP cycle.
+///
+/// # Panics
+///
+/// Panics if `leaves` or `simd_lanes` is zero.
+#[must_use]
+pub fn tree_ingest_bound_ns_per_entry(
+    timing: &PeTiming,
+    leaves: usize,
+    simd_lanes: usize,
+) -> f64 {
+    assert!(leaves > 0 && simd_lanes > 0, "tree shape must be non-degenerate");
+    timing.cycle_ns() / (leaves * simd_lanes) as f64
+}
+
+/// Consistency report of a timing calibration against the machine bounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingValidation {
+    /// Measured DRAM streaming bound (ns per entry).
+    pub dram_bound: f64,
+    /// Tree ingestion bound (ns per entry).
+    pub tree_bound: f64,
+    /// The calibrated multiply-phase constant under test.
+    pub calibrated: f64,
+}
+
+impl TimingValidation {
+    /// Runs both bounds for the paper's system and a timing set.
+    #[must_use]
+    pub fn paper_system(timing: &SpmvTiming) -> Self {
+        let dram_bound =
+            measured_stream_bound_ns_per_entry(MemoryConfig::ddr4_2400_4ch(), 64);
+        // 16 leaf PEs at 1PE:2R, 16-lane vectorized entry ingestion.
+        let tree_bound = tree_ingest_bound_ns_per_entry(&PeTiming::fpga_200mhz(), 16, 16);
+        Self { dram_bound, tree_bound, calibrated: timing.fafnir_multiply_ns }
+    }
+
+    /// True when the calibrated constant does not promise more than the
+    /// hardware can deliver.
+    #[must_use]
+    pub fn is_realizable(&self) -> bool {
+        self.calibrated >= self.dram_bound.max(self.tree_bound) * 0.99
+    }
+}
+
+/// A small SpMV executed *end to end* against the DRAM simulator: the LIL
+/// entries stream from the ranks as 512-byte block reads through
+/// `fafnir-mem`, the functional result comes from
+/// [`crate::fafnir_spmv::execute`], and the returned time is the measured
+/// streaming completion plus the tree's ingestion/depth costs. Used to
+/// cross-validate the analytic [`SpmvTiming`] on concrete inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulatedSpmv {
+    /// The product vector.
+    pub y: Vec<f64>,
+    /// Measured DRAM streaming time (ns).
+    pub stream_ns: f64,
+    /// Tree ingestion + depth time (ns).
+    pub tree_ns: f64,
+    /// Total simulated time (ns).
+    pub total_ns: f64,
+    /// The analytic model's estimate for the same run (ns).
+    pub analytic_ns: f64,
+}
+
+/// Runs `y = A·x` with the memory phase simulated by `fafnir-mem`.
+///
+/// # Panics
+///
+/// Panics if `x.len() != matrix.cols()` or `vector_size` is zero.
+#[must_use]
+pub fn execute_simulated(
+    matrix: &crate::lil::LilMatrix,
+    x: &[f64],
+    vector_size: usize,
+    mem_config: MemoryConfig,
+    timing: &SpmvTiming,
+) -> SimulatedSpmv {
+    let run = crate::fafnir_spmv::execute(matrix, x, vector_size);
+
+    // Stream the matrix: nnz entries × 12 B, packed into 512 B blocks,
+    // distributed round-robin over the ranks.
+    let mut config = mem_config;
+    config.ndp_data_path = true;
+    let topology = config.topology;
+    let total_blocks = (matrix.nnz() * ENTRY_BYTES).div_ceil(512).max(1);
+    let ranks = topology.total_ranks();
+    let mut memory = fafnir_mem::MemorySystem::new(config);
+    let blocks_per_row = (topology.row_bytes() / 512).max(1);
+    for block in 0..total_blocks {
+        let global_rank = block % ranks;
+        let slot = block / ranks;
+        let banks = topology.banks_per_rank();
+        let flat_bank = slot % banks;
+        let inner = slot / banks;
+        let location = Location {
+            channel: global_rank / topology.ranks_per_channel(),
+            rank: global_rank % topology.ranks_per_channel(),
+            bank_group: flat_bank / topology.banks_per_group,
+            bank: flat_bank % topology.banks_per_group,
+            row: (inner / blocks_per_row) % topology.rows,
+            column: (inner % blocks_per_row) * (512 / topology.burst_bytes),
+        };
+        memory.submit_read_at(location, 512, 0);
+    }
+    // Result write-back: the root writes y (8 B per row entry) back to
+    // memory, interleaved over the channels.
+    let y_bytes = matrix.rows() * 8;
+    for block in 0..y_bytes.div_ceil(512) {
+        let addr = (topology.capacity_bytes() / 2) + block as u64 * 512;
+        memory.submit(fafnir_mem::Request::write(addr, 512));
+    }
+    let done = memory.run_until_idle();
+    let stream_ns = config.timing.cycles_to_ns(done);
+
+    // Tree side: leaves ingest the streamed entries (vectorized), plus the
+    // pipeline depth and merge-iteration volumes at the ingest rate.
+    let pe_timing = PeTiming::fpga_200mhz();
+    let leaves = (ranks / 2).max(1);
+    let ingest = tree_ingest_bound_ns_per_entry(&pe_timing, leaves, 16);
+    let depth_ns = (leaves as f64).log2().ceil().max(1.0)
+        * pe_timing.reduce_latency_ns();
+    let merge_entries: u64 = run.volumes[1..].iter().sum();
+    let tree_ns = run.volumes[0] as f64 * ingest
+        + merge_entries as f64 * ingest * 3.0
+        + depth_ns * run.plan.total_rounds() as f64;
+
+    // Streaming and tree ingestion overlap (the tree consumes as data
+    // arrives); the slower of the two sets the pace.
+    let total_ns = stream_ns.max(tree_ns);
+    SimulatedSpmv {
+        y: run.y.clone(),
+        stream_ns,
+        tree_ns,
+        total_ns,
+        analytic_ns: timing.fafnir_ns(&run),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dram_streaming_is_fast_and_row_hit_dominated() {
+        let bound = measured_stream_bound_ns_per_entry(MemoryConfig::ddr4_2400_4ch(), 32);
+        // 32 ranks streaming on their own ports, bounded by the shared
+        // per-channel command bus: ≈0.14 ns per 12-byte entry — and the
+        // calibrated multiply constant (0.16) sits just above it.
+        assert!(bound > 0.05 && bound < 0.2, "bound {bound} ns/entry");
+    }
+
+    #[test]
+    fn fewer_ranks_stream_slower() {
+        let wide = measured_stream_bound_ns_per_entry(MemoryConfig::ddr4_2400_4ch(), 32);
+        let narrow =
+            measured_stream_bound_ns_per_entry(MemoryConfig::with_total_ranks(2), 32);
+        assert!(narrow > 4.0 * wide, "2 ranks {narrow} vs 32 ranks {wide}");
+    }
+
+    #[test]
+    fn tree_bound_scales_with_leaves_and_lanes() {
+        let timing = PeTiming::fpga_200mhz();
+        let narrow = tree_ingest_bound_ns_per_entry(&timing, 4, 1);
+        let wide = tree_ingest_bound_ns_per_entry(&timing, 16, 16);
+        assert!((narrow / wide - 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simulated_spmv_matches_reference_and_brackets_the_analytic_model() {
+        let coo = crate::gen::uniform(512, 512, 0.02, 91);
+        let lil = crate::lil::LilMatrix::from(&coo);
+        let x: Vec<f64> = (0..512).map(|i| 1.0 + (i % 5) as f64).collect();
+        let timing = SpmvTiming::paper();
+        let simulated =
+            execute_simulated(&lil, &x, 2048, MemoryConfig::ddr4_2400_4ch(), &timing);
+        // Functional equality with the dense reference.
+        let want = coo.multiply_dense(&x);
+        for (a, b) in simulated.y.iter().zip(&want) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        // The write path really ran: y occupies rows × 8 B of writes.
+        // (write bursts are counted in the simulated stream time.)
+        // The measured total and the analytic estimate agree within an
+        // order of magnitude (they model the same machine).
+        let ratio = simulated.total_ns / simulated.analytic_ns;
+        assert!(
+            (0.1..10.0).contains(&ratio),
+            "simulated {:.0} ns vs analytic {:.0} ns",
+            simulated.total_ns,
+            simulated.analytic_ns
+        );
+        assert!(simulated.stream_ns > 0.0 && simulated.tree_ns > 0.0);
+    }
+
+    #[test]
+    fn paper_calibration_is_physically_realizable() {
+        let validation = TimingValidation::paper_system(&SpmvTiming::paper());
+        assert!(
+            validation.is_realizable(),
+            "calibrated {} vs dram {} / tree {}",
+            validation.calibrated,
+            validation.dram_bound,
+            validation.tree_bound
+        );
+        // And it is not absurdly conservative either: within ~20x of the
+        // binding constraint.
+        let binding = validation.dram_bound.max(validation.tree_bound);
+        assert!(validation.calibrated < 20.0 * binding);
+    }
+}

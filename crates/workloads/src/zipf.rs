@@ -1,0 +1,187 @@
+//! Zipf-distributed sampling.
+//!
+//! Embedding-table accesses in production recommendation systems are highly
+//! skewed — a small set of hot entities dominates traffic. The paper's
+//! batch-dedup mechanism (Fig. 3) profits exactly from that skew, so the
+//! workload generator needs a controllable Zipf source. This implementation
+//! uses the rejection-inversion method of Hörmann & Derflinger, which is
+//! O(1) per sample for any universe size.
+
+use rand::Rng;
+
+/// A Zipf(θ) sampler over `{0, 1, …, n−1}` where rank `k` (1-based) has
+/// probability proportional to `1 / k^θ`.
+///
+/// # Examples
+///
+/// ```
+/// use fafnir_workloads::Zipf;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let zipf = Zipf::new(1_000, 1.05);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let sample = zipf.sample(&mut rng);
+/// assert!(sample < 1_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    // Precomputed constants of the rejection-inversion method.
+    h_x1: f64,
+    h_half: f64,
+    s: f64,
+}
+
+impl Zipf {
+    /// Creates a sampler over `n` items with exponent `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`, `theta` is not finite, or `theta < 0`.
+    #[must_use]
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "universe must be non-empty");
+        assert!(theta.is_finite() && theta >= 0.0, "exponent must be finite and non-negative");
+        let h_x1 = Self::h_integral(1.5, theta) - 1.0;
+        let h_half = Self::h_integral(0.5, theta);
+        let s = 2.0 - Self::h_integral_inverse(Self::h_integral(2.5, theta) - Self::h(2.0, theta), theta);
+        Self { n, theta, h_x1, h_half, s }
+    }
+
+    /// The universe size.
+    #[must_use]
+    pub fn universe(&self) -> u64 {
+        self.n
+    }
+
+    /// The skew exponent.
+    #[must_use]
+    pub fn exponent(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draws one sample (0-based item id; id 0 is the hottest).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.theta == 0.0 {
+            return rng.gen_range(0..self.n);
+        }
+        let h_x1 = self.h_x1;
+        let h_n = Self::h_integral(self.n as f64 + 0.5, self.theta);
+        loop {
+            let u = h_n + rng.gen::<f64>() * (h_x1 - h_n);
+            let x = Self::h_integral_inverse(u, self.theta);
+            let mut k = (x + 0.5).floor() as u64;
+            k = k.clamp(1, self.n);
+            if (k as f64 - x) <= self.s
+                || u >= Self::h_integral(k as f64 + 0.5, self.theta) - Self::h(k as f64, self.theta)
+            {
+                return k - 1;
+            }
+        }
+    }
+
+    /// Integral of the hat function `h(x) = x^-θ`.
+    fn h_integral(x: f64, theta: f64) -> f64 {
+        let log_x = x.ln();
+        Self::helper2((1.0 - theta) * log_x) * log_x
+    }
+
+    fn h(x: f64, theta: f64) -> f64 {
+        (-theta * x.ln()).exp()
+    }
+
+    fn h_integral_inverse(x: f64, theta: f64) -> f64 {
+        let mut t = x * (1.0 - theta);
+        if t < -1.0 {
+            t = -1.0;
+        }
+        (Self::helper1(t) * x).exp()
+    }
+
+    /// `log1p(x)/x`, stable near zero.
+    fn helper1(x: f64) -> f64 {
+        if x.abs() > 1e-8 {
+            x.ln_1p() / x
+        } else {
+            1.0 - x * (0.5 - x * (1.0 / 3.0 - 0.25 * x))
+        }
+    }
+
+    /// `(exp(x)-1)/x`, stable near zero.
+    fn helper2(x: f64) -> f64 {
+        if x.abs() > 1e-8 {
+            x.exp_m1() / x
+        } else {
+            1.0 + x * 0.5 * (1.0 + x / 3.0 * (1.0 + 0.25 * x))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn histogram(zipf: &Zipf, samples: usize, seed: u64) -> Vec<usize> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0usize; zipf.universe() as usize];
+        for _ in 0..samples {
+            counts[zipf.sample(&mut rng) as usize] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let zipf = Zipf::new(100, 1.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!(zipf.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn skew_makes_item_zero_hottest() {
+        let zipf = Zipf::new(1000, 1.0);
+        let counts = histogram(&zipf, 50_000, 2);
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[100]);
+        // Roughly 1/k law: count[0]/count[9] ≈ 10 within loose tolerance.
+        let ratio = counts[0] as f64 / counts[9].max(1) as f64;
+        assert!(ratio > 5.0 && ratio < 20.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn theta_zero_is_uniform() {
+        let zipf = Zipf::new(16, 0.0);
+        let counts = histogram(&zipf, 64_000, 3);
+        for &count in &counts {
+            let expected = 4000.0;
+            assert!((count as f64 - expected).abs() < expected * 0.2, "count {count}");
+        }
+    }
+
+    #[test]
+    fn higher_theta_concentrates_more() {
+        let mild = histogram(&Zipf::new(1000, 0.8), 50_000, 4);
+        let steep = histogram(&Zipf::new(1000, 1.4), 50_000, 4);
+        assert!(steep[0] > mild[0]);
+    }
+
+    #[test]
+    fn singleton_universe_always_returns_zero() {
+        let zipf = Zipf::new(1, 1.1);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_eq!(zipf.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "universe must be non-empty")]
+    fn zero_universe_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Design-space exploration: sweep rank count and leaf fan-in ratio,
+//! reporting latency, tree size, connections, and ASIC area/power — the
+//! trade-offs an architect would weigh before taping FAFNIR out.
+//!
+//! ```sh
+//! cargo run --example design_space
+//! ```
+
+use fafnir_core::model::area_power::AsicModel;
+use fafnir_core::model::connections::ConnectionModel;
+use fafnir_core::{Batch, FafnirConfig, FafnirEngine, StripedSource};
+use fafnir_mem::MemoryConfig;
+use fafnir_workloads::query::{BatchGenerator, Popularity};
+
+fn main() -> Result<(), fafnir_core::FafnirError> {
+    let asic = AsicModel::asap7();
+    let mut generator =
+        BatchGenerator::new(Popularity::Zipf { exponent: 1.05 }, 2_000, 16, 99);
+    let batch: Batch = generator.batch(16);
+
+    println!(
+        "{:>5} {:>9} {:>5} {:>12} {:>12} {:>11} {:>12}",
+        "ranks", "ratio", "PEs", "latency", "tree area", "tree power", "connections"
+    );
+    for ranks in [8usize, 16, 32, 64] {
+        let mem = MemoryConfig::with_total_ranks(ranks);
+        let source = StripedSource::new(mem.topology, 128);
+        for ranks_per_leaf in [1usize, 2, 4] {
+            let config = FafnirConfig { ranks_per_leaf, ..FafnirConfig::paper_default() };
+            let leaves = ranks / ranks_per_leaf;
+            if !leaves.is_power_of_two() || leaves == 0 {
+                continue;
+            }
+            let engine = FafnirEngine::new(config, mem)?;
+            let result = engine.lookup(&batch, &source)?;
+            let pes = config.pe_count(ranks);
+            let connections = ConnectionModel::new(ranks, 4);
+            println!(
+                "{:>5} {:>9} {:>5} {:>9.2} us {:>8.2} mm2 {:>8.1} mW {:>5} vs {:>4}",
+                ranks,
+                format!("1PE:{ranks_per_leaf}R"),
+                pes,
+                result.latency.total_ns / 1e3,
+                asic.tree_area_mm2(pes),
+                pes as f64 * asic.pe_power_mw,
+                connections.fafnir_tree(),
+                connections.all_to_all(),
+            );
+        }
+    }
+    println!("\n(the paper's design point: 32 ranks at 1PE:2R — 31 PEs, ~1.25 mm2, 111.6 mW;");
+    println!(" the 64-rank rows extrapolate the tree one level deeper)");
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Matrix Market workflow: write a matrix to `.mtx`, load it back, profile
+//! its structure, and run it through FAFNIR's SpMV and a CG solve — the
+//! path a user with real SuiteSparse inputs would follow.
+//!
+//! ```sh
+//! cargo run --example mtx_workflow
+//! ```
+
+use fafnir_sparse::apps::conjugate_gradient;
+use fafnir_sparse::{fafnir_spmv, gen, mtx, two_step, CsrMatrix, LilMatrix, MatrixProfile, SpmvTiming};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Pretend this came from SuiteSparse: an SPD banded system serialized
+    // to Matrix Market and read back.
+    let original = gen::spd_banded(1_024, 3, 17);
+    let path = std::env::temp_dir().join("fafnir-demo.mtx");
+    std::fs::write(&path, mtx::write(&original))?;
+    let matrix = mtx::read_file(&path)?;
+    std::fs::remove_file(&path).ok();
+    assert_eq!(matrix, original);
+    println!("loaded {}", path.display());
+
+    let profile = MatrixProfile::of(&matrix);
+    println!("profile: {}\n", profile.summary());
+
+    // One SpMV, engine vs engine.
+    let lil = LilMatrix::from(&matrix);
+    let x = vec![1.0; matrix.cols()];
+    let timing = SpmvTiming::paper();
+    let fafnir = fafnir_spmv::execute(&lil, &x, 2048);
+    let baseline = two_step::execute(&lil, &x, 2048);
+    println!(
+        "spmv: fafnir {:.1} us vs two-step {:.1} us ({:.2}x), plan {:?}",
+        timing.fafnir_ns(&fafnir) / 1e3,
+        timing.two_step_ns(&baseline) / 1e3,
+        two_step::speedup(&timing, &fafnir, &baseline),
+        fafnir.plan.rounds_per_iteration,
+    );
+
+    // Conjugate-gradient solve (the matrix is SPD by construction).
+    let csr = CsrMatrix::from(&matrix);
+    let x_true: Vec<f64> = (0..matrix.rows()).map(|i| ((i % 9) as f64) * 0.25).collect();
+    let b = csr.multiply(&x_true);
+    let solve = conjugate_gradient(&csr, &b, 2048, 1e-10, 500, &timing);
+    let error = solve
+        .solution
+        .iter()
+        .zip(&x_true)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    println!(
+        "cg: {} SpMV calls, converged = {}, max error {error:.2e}, speedup {:.2}x",
+        solve.spmv_calls,
+        solve.converged,
+        solve.speedup(),
+    );
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! Quickstart: run one batch of embedding-lookup queries through FAFNIR.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use fafnir_core::{Batch, FafnirConfig, FafnirEngine, IndexSet, StripedSource, VectorIndex};
+use fafnir_mem::MemoryConfig;
+
+fn main() -> Result<(), fafnir_core::FafnirError> {
+    // The paper's memory system: DDR4-2400, 4 channels × 4 DIMMs × 2 ranks.
+    let mem = MemoryConfig::ddr4_2400_4ch();
+
+    // A FAFNIR tree over all 32 ranks (1 leaf PE per 2 ranks → 31 PEs).
+    let engine = FafnirEngine::new(FafnirConfig::paper_default(), mem)?;
+
+    // Synthetic embedding vectors (512 B each), striped over the ranks as in
+    // Fig. 4b of the paper.
+    let source = StripedSource::new(mem.topology, 128);
+
+    // Two queries sharing vector 5 — the running example of Figs. 1 and 2.
+    let batch = Batch::from_index_sets([
+        IndexSet::from_iter_dedup([1, 2, 5, 6].map(VectorIndex)),
+        IndexSet::from_iter_dedup([3, 4, 5].map(VectorIndex)),
+    ]);
+
+    let result = engine.lookup(&batch, &source)?;
+
+    println!("FAFNIR quickstart");
+    println!("-----------------");
+    println!("queries            : {}", batch.len());
+    println!("index references   : {}", result.traffic.total_references);
+    println!("DRAM vector reads  : {} (deduplicated)", result.traffic.vectors_read);
+    println!("bytes to host      : {} (n x 512 B)", result.traffic.bytes_to_host);
+    println!("lookup latency     : {:.1} ns", result.latency.total_ns);
+    println!("  memory phase     : {:.1} ns", result.latency.memory_ns);
+    println!("  tree tail        : {:.1} ns", result.latency.compute_tail_ns);
+    println!("tree reductions    : {}", result.tree.ops.reduces);
+    println!("row-buffer hit rate: {:.0} %", result.memory.row_hit_rate() * 100.0);
+
+    for (query, value) in &result.outputs {
+        let head: Vec<String> = value.iter().take(4).map(|v| format!("{v:+.3}")).collect();
+        println!("{query} -> [{}, ...]", head.join(", "));
+    }
+    Ok(())
+}

@@ -1,0 +1,16 @@
+//! # fafnir-repro — workspace facade
+//!
+//! Re-exports of the workspace crates, used by the runnable examples in
+//! `examples/` and the cross-crate integration tests in `tests/`. Library
+//! users should depend on the individual crates (`fafnir-core`,
+//! `fafnir-mem`, `fafnir-workloads`, `fafnir-baselines`, `fafnir-sparse`)
+//! directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use fafnir_baselines as baselines;
+pub use fafnir_core as core;
+pub use fafnir_mem as mem;
+pub use fafnir_sparse as sparse;
+pub use fafnir_workloads as workloads;

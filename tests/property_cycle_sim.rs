@@ -1,0 +1,87 @@
+//! Cross-validation of the two tree timing models: for arbitrary batches,
+//! the cycle-stepped simulator (finite FIFOs, backpressure) must produce
+//! exactly the event model's functional outputs, never stall at Table I
+//! sizing, and stay within a bounded factor on completion time.
+
+use proptest::prelude::*;
+
+use fafnir_core::cycle_sim::CycleTree;
+use fafnir_core::inject::{build_rank_inputs, GatheredVector};
+use fafnir_core::{
+    Batch, FafnirConfig, IndexSet, PeTiming, ReduceOp, ReductionTree, VectorIndex,
+};
+
+fn batch_strategy() -> impl Strategy<Value = Batch> {
+    proptest::collection::vec(proptest::collection::vec(0u32..48, 1..8), 1..10).prop_map(|sets| {
+        sets.into_iter()
+            .map(|s| IndexSet::from_iter_dedup(s.into_iter().map(VectorIndex)))
+            .collect()
+    })
+}
+
+fn inputs_for(batch: &Batch, ranks: usize) -> Vec<Vec<fafnir_core::Item>> {
+    let gathered: Vec<GatheredVector> = batch
+        .unique_indices()
+        .iter()
+        .map(|index| GatheredVector {
+            index,
+            rank: index.value() as usize % ranks,
+            value: vec![index.value() as f32; 4],
+            ready_ns: 40.0 + 3.0 * f64::from(index.value()),
+        })
+        .collect();
+    build_rank_inputs(batch, &gathered, ranks, 2, ReduceOp::Sum, &PeTiming::default())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cycle_and_event_models_agree_functionally(batch in batch_strategy()) {
+        let config = FafnirConfig { vector_dim: 4, ..FafnirConfig::paper_default() };
+        let tree = ReductionTree::new(config, 8).unwrap();
+        let event = tree.run(inputs_for(&batch, 8));
+        // Table I sizing: capacity = batch capacity (32 here ≥ any window).
+        let cycle = CycleTree::new(&tree, 32)
+            .run(inputs_for(&batch, 8))
+            .expect("Table I sizing never deadlocks");
+        prop_assert_eq!(cycle.stall_cycles, 0);
+
+        let event_run = fafnir_core::tree::TreeRun {
+            outputs: event.outputs.clone(),
+            stats: Default::default(),
+        };
+        let cycle_run = fafnir_core::tree::TreeRun {
+            outputs: cycle.outputs.clone(),
+            stats: Default::default(),
+        };
+        let event_outputs = event_run.query_outputs(ReduceOp::Sum);
+        let cycle_outputs = cycle_run.query_outputs(ReduceOp::Sum);
+        prop_assert_eq!(event_outputs.len(), cycle_outputs.len());
+        for ((qa, a), (qb, b)) in event_outputs.iter().zip(&cycle_outputs) {
+            prop_assert_eq!(qa, qb);
+            prop_assert_eq!(a, b, "values must be bit-identical (same PE logic)");
+        }
+
+        // Timing models agree within a bounded factor.
+        if event.stats.completion_ns > 0.0 && cycle.completion_ns > 0.0 {
+            let ratio = cycle.completion_ns / event.stats.completion_ns;
+            prop_assert!((0.3..4.0).contains(&ratio), "completion ratio {}", ratio);
+        }
+    }
+
+    #[test]
+    fn occupancy_stays_within_table1_bound(batch in batch_strategy()) {
+        let config = FafnirConfig { vector_dim: 4, ..FafnirConfig::paper_default() };
+        let tree = ReductionTree::new(config, 8).unwrap();
+        let cycle = CycleTree::new(&tree, 32).run(inputs_for(&batch, 8)).unwrap();
+        // A PE's two FIFOs never hold more than the batch plus its shared
+        // items (the Table I argument, observed dynamically).
+        let bound = batch.len() + batch.unique_indices().len();
+        prop_assert!(
+            cycle.max_occupancy <= bound,
+            "{} > {bound}",
+            cycle.max_occupancy
+        );
+    }
+}

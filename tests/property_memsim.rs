@@ -1,0 +1,130 @@
+//! Property tests of the DDR4 simulator: for arbitrary request streams, the
+//! system must complete everything, conserve bursts and bytes, and — via
+//! the independent verifier — never issue an illegal command sequence.
+
+use proptest::prelude::*;
+
+use fafnir_mem::{
+    verify_log, AccessKind, MemoryConfig, MemorySystem, PagePolicy, Request,
+};
+
+/// A random request: address within capacity, plausible size, staggered
+/// arrival, mixed reads and writes.
+fn request_strategy(capacity: u64) -> impl Strategy<Value = Request> {
+    (
+        0..capacity / 64,
+        prop_oneof![Just(64usize), Just(128), Just(512)],
+        0u64..2_000,
+        any::<bool>(),
+    )
+        .prop_map(move |(slot, bytes, arrival, write)| {
+            let addr = (slot * 64).min(capacity - bytes as u64);
+            let request = if write {
+                Request::write(addr, bytes)
+            } else {
+                Request::read(addr, bytes)
+            };
+            request.at(arrival)
+        })
+}
+
+fn config_variants() -> Vec<MemoryConfig> {
+    let base = MemoryConfig::ddr4_2400_4ch();
+    let mut closed = base;
+    closed.page_policy = PagePolicy::Closed;
+    let mut adaptive = base;
+    adaptive.page_policy = PagePolicy::Adaptive { timeout: 150 };
+    let mut ndp = base;
+    ndp.ndp_data_path = true;
+    let mut refreshing = base;
+    refreshing.refresh = true;
+    vec![
+        base,
+        closed,
+        adaptive,
+        ndp,
+        refreshing,
+        MemoryConfig::hbm2_32pc(),
+        MemoryConfig::ddr5_4800_4ch(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_request_completes_and_bursts_are_conserved(
+        requests in proptest::collection::vec(
+            request_strategy(MemoryConfig::ddr4_2400_4ch().topology.capacity_bytes()), 1..40),
+        variant in 0usize..7,
+    ) {
+        let config = config_variants()[variant];
+        // Clamp addresses into the (possibly smaller) variant capacity.
+        let capacity = config.topology.capacity_bytes();
+        let mut mem = MemorySystem::new(config);
+        let mut ids = Vec::new();
+        let mut expected_bursts = 0u64;
+        for request in &requests {
+            let mut request = *request;
+            request.addr = fafnir_mem::PhysAddr(request.addr.value() % (capacity - 4096));
+            expected_bursts += request.bursts(config.topology.burst_bytes) as u64;
+            ids.push((mem.submit(request), request.arrival));
+        }
+        mem.run_until_idle();
+        let stats = mem.stats();
+        prop_assert_eq!(stats.requests_completed, requests.len() as u64);
+        prop_assert_eq!(stats.reads + stats.writes, expected_bursts);
+        prop_assert_eq!(
+            stats.bytes_transferred,
+            expected_bursts * config.topology.burst_bytes as u64
+        );
+        for (id, arrival) in ids {
+            let completion = mem.completion(id).expect("completed");
+            prop_assert!(completion.start_cycle >= arrival);
+            prop_assert!(completion.finish_cycle > completion.start_cycle);
+        }
+    }
+
+    #[test]
+    fn command_streams_are_always_jedec_legal(
+        requests in proptest::collection::vec(
+            request_strategy(MemoryConfig::ddr4_2400_4ch().topology.capacity_bytes()), 1..40),
+        variant in 0usize..7,
+    ) {
+        let config = config_variants()[variant];
+        let capacity = config.topology.capacity_bytes();
+        let mut mem = MemorySystem::new(config);
+        mem.enable_command_logs();
+        for request in &requests {
+            let mut request = *request;
+            request.addr = fafnir_mem::PhysAddr(request.addr.value() % (capacity - 4096));
+            mem.submit(request);
+        }
+        mem.run_until_idle();
+        for log in mem.take_command_logs() {
+            let violations =
+                verify_log(&log, &config.timing, config.topology.banks_per_group);
+            prop_assert!(violations.is_empty(), "violations: {:?}", violations);
+        }
+    }
+
+    #[test]
+    fn latency_is_bounded_below_by_device_minimum(
+        addr in 0u64..(1u64 << 30),
+        write in any::<bool>(),
+    ) {
+        let config = MemoryConfig::ddr4_2400_4ch();
+        let mut mem = MemorySystem::new(config);
+        let request = if write { Request::write(addr & !63, 64) } else { Request::read(addr & !63, 64) };
+        let id = mem.submit(request);
+        mem.run_until_idle();
+        let completion = mem.completion(id).unwrap();
+        let t = config.timing;
+        let kind = if write { AccessKind::Write } else { AccessKind::Read };
+        let floor = match kind {
+            AccessKind::Read => t.tRCD + t.tCL + t.tBL,
+            AccessKind::Write => t.tRCD + t.tCWL + t.tBL,
+        };
+        prop_assert!(completion.finish_cycle >= floor);
+    }
+}

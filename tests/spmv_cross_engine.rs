@@ -1,0 +1,106 @@
+//! Cross-crate integration of the SpMV side: formats, generators, the
+//! FAFNIR engine, the Two-Step baseline, and applications.
+
+use fafnir_sparse::{
+    fafnir_spmv, gen, two_step, CooMatrix, CsrMatrix, LilMatrix, SpmvPlan, SpmvTiming,
+};
+
+fn assert_close(a: &[f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert!((x - y).abs() < 1e-8_f64.max(y.abs() * 1e-10), "{x} vs {y}");
+    }
+}
+
+fn suite() -> Vec<CooMatrix> {
+    vec![
+        gen::uniform(200, 300, 0.03, 1),
+        gen::rmat(8, 4_000, 2),
+        gen::banded(500, 5, 3),
+        CooMatrix::from_triplets(3, 3, [(0, 0, 1.0)]), // nearly empty
+    ]
+}
+
+#[test]
+fn formats_agree_on_spmv() {
+    for coo in suite() {
+        let csr = CsrMatrix::from(&coo);
+        let lil = LilMatrix::from(&coo);
+        let x: Vec<f64> = (0..coo.cols()).map(|i| ((i % 11) as f64) - 5.0).collect();
+        let dense = coo.multiply_dense(&x);
+        assert_close(&csr.multiply(&x), &dense);
+        assert_close(&lil.multiply(&x), &dense);
+        assert_eq!(csr.nnz(), coo.nnz());
+        assert_eq!(lil.nnz(), coo.nnz());
+    }
+}
+
+#[test]
+fn engines_agree_across_the_suite_and_vector_sizes() {
+    for coo in suite() {
+        let lil = LilMatrix::from(&coo);
+        let x: Vec<f64> = (0..coo.cols()).map(|i| 1.0 + (i as f64) * 0.01).collect();
+        let dense = coo.multiply_dense(&x);
+        for vector_size in [2usize, 16, 2048] {
+            let fafnir = fafnir_spmv::execute(&lil, &x, vector_size);
+            let baseline = two_step::execute(&lil, &x, vector_size);
+            assert_close(&fafnir.y, &dense);
+            assert_close(&baseline.y, &dense);
+            assert_eq!(fafnir.ops.multiplies, coo.nnz() as u64);
+            assert_eq!(baseline.ops.multiplies, coo.nnz() as u64);
+        }
+    }
+}
+
+#[test]
+fn plans_match_executed_iterations() {
+    let coo = gen::rmat(9, 20_000, 4);
+    let lil = LilMatrix::from(&coo);
+    let x = vec![1.0; coo.cols()];
+    for vector_size in [4usize, 32, 512] {
+        let plan = SpmvPlan::new(coo.cols(), vector_size);
+        let run = fafnir_spmv::execute(&lil, &x, vector_size);
+        assert_eq!(run.plan, plan);
+        assert_eq!(run.volumes.len(), plan.iterations());
+    }
+}
+
+#[test]
+fn speedup_envelope_matches_fig14() {
+    let timing = SpmvTiming::paper();
+    let mut speedups = Vec::new();
+    for (coo, vector_size) in [
+        (gen::uniform(512, 512, 0.01, 5), 2048usize),
+        (gen::rmat(11, 80_000, 6), 128),
+        (gen::rmat(12, 200_000, 7), 32),
+    ] {
+        let lil = LilMatrix::from(&coo);
+        let x = vec![1.0; coo.cols()];
+        let fafnir = fafnir_spmv::execute(&lil, &x, vector_size);
+        let baseline = two_step::execute(&lil, &x, vector_size);
+        speedups.push(two_step::speedup(&timing, &fafnir, &baseline));
+    }
+    for &speedup in &speedups {
+        assert!((1.0..=4.6).contains(&speedup), "outside Fig. 14 envelope: {speedup}");
+    }
+    // Smaller/merge-free beats merge-heavy.
+    assert!(speedups[0] > speedups[2], "{speedups:?}");
+}
+
+#[test]
+fn transpose_spmv_consistency() {
+    // (Aᵀ·x)[j] computed through the engines equals the column sums.
+    let coo = gen::uniform(50, 70, 0.1, 8);
+    let csr = CsrMatrix::from(&coo).transpose();
+    let lil_t = {
+        let mut t = CooMatrix::new(coo.cols(), coo.rows());
+        for &(r, c, v) in coo.entries() {
+            t.push(c, r, v);
+        }
+        t.sum_duplicates();
+        LilMatrix::from(&t)
+    };
+    let x: Vec<f64> = (0..coo.rows()).map(|i| (i as f64).sin()).collect();
+    let run = fafnir_spmv::execute(&lil_t, &x, 64);
+    assert_close(&run.y, &csr.multiply(&x));
+}
