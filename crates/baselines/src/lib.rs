@@ -10,10 +10,14 @@
 //!   reduction *only* for operands co-located in one DIMM, 128 KB rank
 //!   caches ([`cache`]) instead of batch dedup.
 //!
-//! All engines implement [`model::LookupEngine`], produce functionally
-//! verified outputs, and report the latency/traffic/ops breakdowns the
-//! paper's figures are built from. The SpMV baseline (the Two-Step
-//! algorithm) lives in `fafnir-sparse`, next to the formats it consumes.
+//! All engines implement the staged `fafnir_core::GatherEngine` pipeline
+//! (preprocess → gather → reduce) *and* the analytic [`model::LookupEngine`]
+//! view, produce functionally verified outputs, and report the
+//! latency/traffic/ops breakdowns the paper's figures are built from.
+//! `FafnirEngine` itself implements [`model::LookupEngine`] here (see
+//! [`model`]), so all four engines compare uniformly. The SpMV baseline
+//! (the Two-Step algorithm) lives in `fafnir-sparse`, next to the formats
+//! it consumes.
 //!
 //! ```
 //! use fafnir_baselines::{LookupEngine, RecNmpEngine};
@@ -36,14 +40,12 @@
 #![warn(missing_docs)]
 
 pub mod cache;
-pub mod fafnir_adapter;
 pub mod model;
 pub mod no_ndp;
 pub mod recnmp;
 pub mod tensordimm;
 
 pub use cache::VectorCache;
-pub use fafnir_adapter::FafnirLookup;
 pub use model::{CoreModel, LookupEngine, LookupOutcome};
 pub use no_ndp::NoNdpEngine;
 pub use recnmp::RecNmpEngine;

@@ -4,8 +4,9 @@
 use serde::{Deserialize, Serialize};
 
 use fafnir_core::batch::Batch;
+use fafnir_core::pipeline::GatherEngine;
 use fafnir_core::placement::EmbeddingSource;
-use fafnir_core::{FafnirError, QueryId};
+use fafnir_core::{FafnirEngine, FafnirError, LookupResult, QueryId, TrafficStats};
 use fafnir_mem::MemoryStats;
 
 /// Result of one batch lookup on any engine (FAFNIR or a baseline).
@@ -81,6 +82,27 @@ impl LookupOutcome {
         } else {
             self.ndp_elem_ops as f64 / total as f64
         }
+    }
+
+    /// Converts this analytic outcome into the staged pipeline's
+    /// [`LookupResult`] shape so baselines can serve the [`GatherEngine`]
+    /// trait. Latency and traffic totals carry over exactly; tree statistics
+    /// stay at their defaults (the baselines have no reduction tree).
+    #[must_use]
+    pub fn into_lookup_result(self, total_references: u64) -> LookupResult {
+        let traffic = TrafficStats {
+            total_references,
+            vectors_read: self.vectors_read,
+            bytes_from_dram: self.memory.bytes_transferred,
+            bytes_to_host: self.bytes_to_host,
+        };
+        fafnir_core::pipeline::analytic_result(
+            self.outputs,
+            self.total_ns,
+            self.memory_ns,
+            self.memory,
+            traffic,
+        )
     }
 }
 
@@ -161,6 +183,50 @@ pub trait LookupEngine {
     ) -> Result<LookupOutcome, FafnirError>;
 }
 
+/// FAFNIR viewed through the baselines' analytic lens: the staged
+/// [`GatherEngine`] lookup runs the full simulation, and the extra
+/// [`LookupOutcome`] fields (host link occupancy, throughput view, NDP op
+/// counts) are derived from its result. This replaces the old
+/// `FafnirLookup` wrapper.
+impl LookupEngine for FafnirEngine {
+    fn name(&self) -> &'static str {
+        "fafnir"
+    }
+
+    fn lookup<S: EmbeddingSource>(
+        &self,
+        batch: &Batch,
+        source: &S,
+    ) -> Result<LookupOutcome, FafnirError> {
+        let result = GatherEngine::lookup(self, batch, source)?;
+        let dim = source.vector_dim() as u64;
+        // The root forwards n output vectors to the host over c links.
+        let host_transfer_ns =
+            result.traffic.bytes_to_host as f64 / CoreModel::server_cpu().link_bytes_per_ns;
+        let output_count = result.outputs.len() as f64;
+        Ok(LookupOutcome {
+            outputs: result.outputs,
+            total_ns: result.latency.total_ns,
+            memory_ns: result.latency.memory_ns,
+            compute_ns: result.latency.compute_tail_ns,
+            // The tree is fully pipelined: per batch it is busy only for the
+            // root's output serialization (one output per initiation
+            // interval per query), not the tree's depth.
+            compute_throughput_ns: output_count
+                * self.config().pe_timing.output_interval_cycles as f64
+                * self.config().pe_timing.cycle_ns(),
+            host_transfer_ns,
+            memory: result.memory,
+            vectors_read: result.traffic.vectors_read,
+            bytes_to_host: result.traffic.bytes_to_host,
+            // Every reduce the tree performed happened at NDP; count merged
+            // (deduplicated) reduces as element ops.
+            ndp_elem_ops: (result.tree.ops.reduces / 2).max(result.tree.ops.reduces.min(1)) * dim,
+            core_elem_ops: 0,
+        })
+    }
+}
+
 /// Validates an outcome's outputs against the software reference; panics
 /// with a descriptive message on mismatch. Test/benchmark helper.
 ///
@@ -226,6 +292,20 @@ mod tests {
         assert_eq!(outcome.ndp_fraction(), 1.0);
         assert_eq!(outcome.queries_per_second(), 0.0);
         assert_eq!(outcome.sustained_queries_per_second(), 0.0);
+    }
+
+    #[test]
+    fn fafnir_as_lookup_engine_matches_reference_and_is_all_ndp() {
+        use fafnir_core::{indexset, FafnirConfig, ReduceOp, StripedSource};
+        let mem = fafnir_mem::MemoryConfig::ddr4_2400_4ch();
+        let fafnir = FafnirEngine::new(FafnirConfig::paper_default(), mem).unwrap();
+        let source = StripedSource::new(mem.topology, 128);
+        let batch = Batch::from_index_sets([indexset![1, 2, 5, 6], indexset![3, 4, 5]]);
+        let outcome = LookupEngine::lookup(&fafnir, &batch, &source).unwrap();
+        assert_outputs_match(&outcome, &batch, &source, ReduceOp::Sum);
+        assert_eq!(outcome.core_elem_ops, 0);
+        assert_eq!(LookupEngine::name(&fafnir), "fafnir");
+        assert!(outcome.ndp_elem_ops > 0);
     }
 
     #[test]

@@ -6,9 +6,10 @@
 //! paper starts from.
 
 use fafnir_core::batch::Batch;
+use fafnir_core::pipeline::{GatherEngine, GatherOutcome, MemoryPlan, PlannedRead};
 use fafnir_core::placement::EmbeddingSource;
-use fafnir_core::{FafnirError, ReduceOp};
-use fafnir_mem::{MemoryConfig, MemorySystem, Request};
+use fafnir_core::{FafnirError, LookupResult, ReduceOp};
+use fafnir_mem::MemoryConfig;
 
 use crate::model::{CoreModel, LookupEngine, LookupOutcome};
 
@@ -32,6 +33,93 @@ impl NoNdpEngine {
     pub fn paper_default(mem_config: MemoryConfig) -> Self {
         Self::new(mem_config, CoreModel::server_cpu(), ReduceOp::Sum)
     }
+
+    /// Analytic model applied to a gathered plan: core-side reduction after
+    /// the memory phase drains.
+    fn outcome<S: EmbeddingSource>(
+        &self,
+        plan: &MemoryPlan,
+        gathered: &GatherOutcome,
+        source: &S,
+    ) -> LookupOutcome {
+        let batch = &plan.batch;
+        let vector_bytes = source.vector_dim() * 4;
+        let read_count = plan.reads.len() as u64;
+        let memory_ns = gathered.idle_ns;
+
+        // Core-side reduction: every query folds q vectors into one.
+        let partials: u64 = batch.total_references() as u64;
+        let outputs = batch.len() as u64;
+        let compute_ns = self.core.reduce_ns(partials, outputs, source.vector_dim());
+
+        // Functional outputs via the software reference (that is literally
+        // what this baseline does).
+        let outputs_vec = fafnir_core::engine::reference_lookup(batch, source, self.op);
+
+        let dim = source.vector_dim() as u64;
+        LookupOutcome {
+            outputs: outputs_vec,
+            total_ns: memory_ns + compute_ns,
+            memory_ns,
+            compute_ns,
+            compute_throughput_ns: compute_ns,
+            // The reads themselves deliver the data to the cores.
+            host_transfer_ns: 0.0,
+            memory: gathered.memory,
+            vectors_read: read_count,
+            bytes_to_host: read_count * vector_bytes as u64,
+            ndp_elem_ops: 0,
+            core_elem_ops: (partials - outputs) * dim,
+        }
+    }
+}
+
+impl GatherEngine for NoNdpEngine {
+    type Plan = MemoryPlan;
+
+    fn name(&self) -> &'static str {
+        "no-ndp"
+    }
+
+    /// One read per reference; repeats are separate reads (no dedup, no
+    /// cache). The whole software batch is one plan — the cores have no
+    /// hardware batch capacity.
+    fn preprocess<S: EmbeddingSource>(
+        &self,
+        batch: &Batch,
+        source: &S,
+    ) -> Result<Vec<MemoryPlan>, FafnirError> {
+        if batch.is_empty() {
+            return Err(FafnirError::InvalidBatch("batch has no queries".into()));
+        }
+        let vector_bytes = source.vector_dim() * 4;
+        let topology = self.mem_config.topology;
+        let mut reads = Vec::new();
+        for query in batch.queries() {
+            for index in query.indices.iter() {
+                let location = source.location_of(index);
+                reads.push(PlannedRead {
+                    index,
+                    location,
+                    rank: location.global_rank(&topology),
+                    bytes: vector_bytes,
+                });
+            }
+        }
+        let mut plan = MemoryPlan::new(batch.clone(), self.mem_config);
+        plan.reads = reads;
+        Ok(vec![plan])
+    }
+
+    fn reduce<S: EmbeddingSource>(
+        &self,
+        plan: &MemoryPlan,
+        gathered: GatherOutcome,
+        source: &S,
+    ) -> Result<LookupResult, FafnirError> {
+        let outcome = self.outcome(plan, &gathered, source);
+        Ok(outcome.into_lookup_result(plan.batch.total_references() as u64))
+    }
 }
 
 impl LookupEngine for NoNdpEngine {
@@ -44,49 +132,10 @@ impl LookupEngine for NoNdpEngine {
         batch: &Batch,
         source: &S,
     ) -> Result<LookupOutcome, FafnirError> {
-        if batch.is_empty() {
-            return Err(FafnirError::InvalidBatch("batch has no queries".into()));
-        }
-        let vector_bytes = source.vector_dim() * 4;
-        let mut memory = MemorySystem::new(self.mem_config);
-        // One read per reference; repeats are separate reads (no dedup, no
-        // cache).
-        let mut read_count: u64 = 0;
-        for query in batch.queries() {
-            for index in query.indices.iter() {
-                let location = source.location_of(index);
-                let addr = self.mem_config.mapping.encode(location, &self.mem_config.topology);
-                memory.submit(Request::read(addr.value(), vector_bytes));
-                read_count += 1;
-            }
-        }
-        let last = memory.run_until_idle();
-        let memory_ns = self.mem_config.timing.cycles_to_ns(last);
-
-        // Core-side reduction: every query folds q vectors into one.
-        let partials: u64 = batch.total_references() as u64;
-        let outputs = batch.len() as u64;
-        let compute_ns = self.core.reduce_ns(partials, outputs, source.vector_dim());
-
-        // Functional outputs via the software reference (that is literally
-        // what this baseline does).
-        let outputs_vec = fafnir_core::engine::reference_lookup(batch, source, self.op);
-
-        let dim = source.vector_dim() as u64;
-        Ok(LookupOutcome {
-            outputs: outputs_vec,
-            total_ns: memory_ns + compute_ns,
-            memory_ns,
-            compute_ns,
-            compute_throughput_ns: compute_ns,
-            // The reads themselves deliver the data to the cores.
-            host_transfer_ns: 0.0,
-            memory: memory.stats(),
-            vectors_read: read_count,
-            bytes_to_host: read_count * vector_bytes as u64,
-            ndp_elem_ops: 0,
-            core_elem_ops: (partials - outputs) * dim,
-        })
+        let plans = self.preprocess(batch, source)?;
+        let plan = &plans[0];
+        let gathered = self.gather(plan);
+        Ok(self.outcome(plan, &gathered, source))
     }
 }
 
@@ -106,7 +155,7 @@ mod tests {
     fn outputs_match_reference() {
         let (engine, source) = setup();
         let batch = Batch::from_index_sets([indexset![1, 2, 5, 6], indexset![3, 4, 5]]);
-        let outcome = engine.lookup(&batch, &source).unwrap();
+        let outcome = LookupEngine::lookup(&engine, &batch, &source).unwrap();
         assert_outputs_match(&outcome, &batch, &source, ReduceOp::Sum);
     }
 
@@ -114,7 +163,7 @@ mod tests {
     fn reads_every_reference_and_moves_everything() {
         let (engine, source) = setup();
         let batch = Batch::from_index_sets([indexset![1, 2, 5], indexset![3, 4, 5]]);
-        let outcome = engine.lookup(&batch, &source).unwrap();
+        let outcome = LookupEngine::lookup(&engine, &batch, &source).unwrap();
         assert_eq!(outcome.vectors_read, 6); // v5 read twice
         assert_eq!(outcome.bytes_to_host, 6 * 512);
         assert_eq!(outcome.ndp_elem_ops, 0);
@@ -124,15 +173,28 @@ mod tests {
     #[test]
     fn empty_batch_is_rejected() {
         let (engine, source) = setup();
-        assert!(engine.lookup(&Batch::new(), &source).is_err());
+        assert!(LookupEngine::lookup(&engine, &Batch::new(), &source).is_err());
     }
 
     #[test]
     fn compute_follows_memory() {
         let (engine, source) = setup();
         let batch = Batch::from_index_sets([indexset![1, 2, 5, 6]]);
-        let outcome = engine.lookup(&batch, &source).unwrap();
+        let outcome = LookupEngine::lookup(&engine, &batch, &source).unwrap();
         assert!(outcome.total_ns > outcome.memory_ns);
         assert!(outcome.compute_ns > 0.0);
+    }
+
+    #[test]
+    fn staged_lookup_result_mirrors_outcome() {
+        let (engine, source) = setup();
+        let batch = Batch::from_index_sets([indexset![1, 2, 5], indexset![3, 4, 5]]);
+        let outcome = LookupEngine::lookup(&engine, &batch, &source).unwrap();
+        let result = GatherEngine::lookup(&engine, &batch, &source).unwrap();
+        assert_eq!(result.outputs, outcome.outputs);
+        assert_eq!(result.latency.total_ns, outcome.total_ns);
+        assert_eq!(result.latency.memory_ns, outcome.memory_ns);
+        assert_eq!(result.traffic.vectors_read, outcome.vectors_read);
+        assert_eq!(result.traffic.bytes_to_host, outcome.bytes_to_host);
     }
 }

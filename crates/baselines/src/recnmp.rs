@@ -8,10 +8,11 @@
 //! 128 KB per-rank LRU cache instead of batch dedup.
 
 use fafnir_core::batch::Batch;
+use fafnir_core::pipeline::{GatherEngine, GatherOutcome, MemoryPlan, PlannedRead};
 use fafnir_core::placement::EmbeddingSource;
 use fafnir_core::timing::PeTiming;
-use fafnir_core::{FafnirError, ReduceOp};
-use fafnir_mem::{MemoryConfig, MemorySystem, Request};
+use fafnir_core::{FafnirError, LookupResult, ReduceOp};
+use fafnir_mem::MemoryConfig;
 
 use crate::cache::VectorCache;
 use crate::model::{CoreModel, LookupEngine, LookupOutcome};
@@ -24,6 +25,28 @@ pub struct RecNmpEngine {
     pe_timing: PeTiming,
     op: ReduceOp,
     cache_enabled: bool,
+}
+
+/// RecNMP's per-batch plan: the cache-filtered reads plus the DIMM
+/// co-location analytics the reduce stage prices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecNmpPlan {
+    mem: MemoryPlan,
+    /// Partial vectors forwarded to the cores (one per referenced DIMM
+    /// group per query).
+    total_partials: u64,
+    /// Element operations performed by the DIMM NDPs (co-located operands).
+    ndp_elem_ops: u64,
+    /// Longest serial NDP combine chain in any DIMM group.
+    max_group_chain: u64,
+    /// References absorbed by the rank caches (no DRAM read).
+    cache_hits: u64,
+}
+
+impl AsRef<MemoryPlan> for RecNmpPlan {
+    fn as_ref(&self) -> &MemoryPlan {
+        &self.mem
+    }
 }
 
 impl RecNmpEngine {
@@ -54,13 +77,14 @@ impl RecNmpEngine {
         self.cache_enabled = false;
         self
     }
-}
 
-impl RecNmpEngine {
     /// Streamed execution with *persistent* rank caches: batch k+1 hits on
     /// vectors batch k loaded. This is the cross-batch reuse FAFNIR's
     /// per-batch dedup cannot capture (and the caches' justification in the
     /// RecNMP design); the outcomes expose the warming hit rate.
+    ///
+    /// For the trait-level stream over a shared memory system see
+    /// [`GatherEngine::lookup_stream`] (cold caches per batch).
     ///
     /// # Errors
     ///
@@ -78,7 +102,9 @@ impl RecNmpEngine {
         for batch in batches {
             let before_hits: u64 = caches.iter().map(VectorCache::hits).sum();
             let before_accesses: u64 = caches.iter().map(VectorCache::accesses).sum();
-            let outcome = self.lookup_with_caches(batch, source, &mut caches)?;
+            let plan = self.plan_with_caches(batch, source, &mut caches)?;
+            let gathered = self.gather(&plan);
+            let outcome = self.outcome(&plan, &gathered, source);
             let hits: u64 = caches.iter().map(VectorCache::hits).sum::<u64>() - before_hits;
             let accesses: u64 =
                 caches.iter().map(VectorCache::accesses).sum::<u64>() - before_accesses;
@@ -88,14 +114,15 @@ impl RecNmpEngine {
         Ok(outcomes)
     }
 
-    /// One batch against caller-owned caches (cold caches = the plain
-    /// [`LookupEngine::lookup`] behaviour).
-    fn lookup_with_caches<S: EmbeddingSource>(
+    /// Compiles one batch against caller-owned caches (cold caches = the
+    /// plain [`LookupEngine::lookup`] behaviour), precomputing the DIMM
+    /// co-location analytics.
+    fn plan_with_caches<S: EmbeddingSource>(
         &self,
         batch: &Batch,
         source: &S,
         caches: &mut [VectorCache],
-    ) -> Result<LookupOutcome, FafnirError> {
+    ) -> Result<RecNmpPlan, FafnirError> {
         if batch.is_empty() {
             return Err(FafnirError::InvalidBatch("batch has no queries".into()));
         }
@@ -103,10 +130,8 @@ impl RecNmpEngine {
         let vector_bytes = source.vector_dim() * 4;
         let dim = source.vector_dim() as u64;
 
-        let mut memory = MemorySystem::new(self.mem_config);
-        let mut reads: u64 = 0;
+        let mut reads = Vec::new();
         let mut cache_hits: u64 = 0;
-
         let mut ndp_elem_ops: u64 = 0;
         let mut total_partials: u64 = 0;
         let mut max_group_chain: u64 = 0;
@@ -120,9 +145,7 @@ impl RecNmpEngine {
                 if hit {
                     cache_hits += 1;
                 } else {
-                    let addr = self.mem_config.mapping.encode(location, &topology);
-                    memory.submit(Request::read(addr.value(), vector_bytes));
-                    reads += 1;
+                    reads.push(PlannedRead { index, location, rank, bytes: vector_bytes });
                 }
                 *dimm_counts.entry((location.channel, location.dimm(&topology))).or_insert(0) += 1;
             }
@@ -133,30 +156,83 @@ impl RecNmpEngine {
             total_partials += dimm_counts.len() as u64;
         }
 
-        let last = memory.run_until_idle();
-        let memory_ns = self.mem_config.timing.cycles_to_ns(last);
-        let ndp_tail_ns = max_group_chain as f64 * self.pe_timing.reduce_latency_ns();
+        let mut mem = MemoryPlan::new(batch.clone(), self.mem_config);
+        mem.reads = reads;
+        Ok(RecNmpPlan { mem, total_partials, ndp_elem_ops, max_group_chain, cache_hits })
+    }
+
+    /// Analytic model applied to a gathered plan: NDP combine chains, the
+    /// host-side partial reduction, and the partials' link transfer.
+    fn outcome<S: EmbeddingSource>(
+        &self,
+        plan: &RecNmpPlan,
+        gathered: &GatherOutcome,
+        source: &S,
+    ) -> LookupOutcome {
+        let batch = &plan.mem.batch;
+        let vector_bytes = source.vector_dim() * 4;
+        let dim = source.vector_dim() as u64;
+        let reads = plan.mem.reads.len() as u64;
+
+        let memory_ns = gathered.idle_ns;
+        let ndp_tail_ns = plan.max_group_chain as f64 * self.pe_timing.reduce_latency_ns();
         let core_ns =
-            self.core.reduce_ns(total_partials, batch.len() as u64, source.vector_dim());
+            self.core.reduce_ns(plan.total_partials, batch.len() as u64, source.vector_dim());
         let compute_ns = ndp_tail_ns + core_ns;
         let outputs = fafnir_core::engine::reference_lookup(batch, source, self.op);
-        let core_elem_ops = total_partials.saturating_sub(batch.len() as u64) * dim;
-        let bytes_to_host = total_partials * vector_bytes as u64;
+        let core_elem_ops = plan.total_partials.saturating_sub(batch.len() as u64) * dim;
+        let bytes_to_host = plan.total_partials * vector_bytes as u64;
         let host_transfer_ns = self.core.transfer_ns(bytes_to_host);
 
-        Ok(LookupOutcome {
+        LookupOutcome {
             outputs,
             total_ns: memory_ns + host_transfer_ns + compute_ns,
             memory_ns,
             compute_ns,
             compute_throughput_ns: compute_ns,
             host_transfer_ns,
-            memory: memory.stats(),
-            vectors_read: reads + cache_hits,
+            memory: gathered.memory,
+            vectors_read: reads + plan.cache_hits,
             bytes_to_host,
-            ndp_elem_ops,
+            ndp_elem_ops: plan.ndp_elem_ops,
             core_elem_ops,
-        })
+        }
+    }
+
+    /// Fresh cold caches, one per rank.
+    fn cold_caches(&self) -> Vec<VectorCache> {
+        (0..self.mem_config.topology.total_ranks())
+            .map(|_| VectorCache::recnmp_rank_cache())
+            .collect()
+    }
+}
+
+impl GatherEngine for RecNmpEngine {
+    type Plan = RecNmpPlan;
+
+    fn name(&self) -> &'static str {
+        "recnmp"
+    }
+
+    /// Cache-filtered read planning with cold per-batch caches; the warm
+    /// cross-batch variant is [`RecNmpEngine::lookup_stream`].
+    fn preprocess<S: EmbeddingSource>(
+        &self,
+        batch: &Batch,
+        source: &S,
+    ) -> Result<Vec<RecNmpPlan>, FafnirError> {
+        let mut caches = self.cold_caches();
+        Ok(vec![self.plan_with_caches(batch, source, &mut caches)?])
+    }
+
+    fn reduce<S: EmbeddingSource>(
+        &self,
+        plan: &RecNmpPlan,
+        gathered: GatherOutcome,
+        source: &S,
+    ) -> Result<LookupResult, FafnirError> {
+        let outcome = self.outcome(plan, &gathered, source);
+        Ok(outcome.into_lookup_result(plan.mem.batch.total_references() as u64))
     }
 }
 
@@ -171,10 +247,10 @@ impl LookupEngine for RecNmpEngine {
         source: &S,
     ) -> Result<LookupOutcome, FafnirError> {
         // Cold per-lookup caches; see `lookup_stream` for warm ones.
-        let ranks = self.mem_config.topology.total_ranks();
-        let mut caches: Vec<VectorCache> =
-            (0..ranks).map(|_| VectorCache::recnmp_rank_cache()).collect();
-        self.lookup_with_caches(batch, source, &mut caches)
+        let plans = self.preprocess(batch, source)?;
+        let plan = &plans[0];
+        let gathered = self.gather(plan);
+        Ok(self.outcome(plan, &gathered, source))
     }
 }
 
@@ -194,7 +270,7 @@ mod tests {
     fn outputs_match_reference() {
         let (engine, source) = setup();
         let batch = Batch::from_index_sets([indexset![1, 2, 5, 6], indexset![3, 4, 5]]);
-        let outcome = engine.lookup(&batch, &source).unwrap();
+        let outcome = LookupEngine::lookup(&engine, &batch, &source).unwrap();
         assert_outputs_match(&outcome, &batch, &source, ReduceOp::Sum);
     }
 
@@ -205,7 +281,7 @@ mod tests {
         let batch = Batch::from_index_sets([IndexSet::from_iter_dedup(
             (0..16).map(|i| VectorIndex(i * 2)), // even indices: distinct DIMMs
         )]);
-        let outcome = engine.lookup(&batch, &source).unwrap();
+        let outcome = LookupEngine::lookup(&engine, &batch, &source).unwrap();
         assert_eq!(outcome.ndp_elem_ops, 0, "no co-located operands");
         assert_eq!(outcome.core_elem_ops, 15 * 128);
         assert_eq!(outcome.bytes_to_host, 16 * 512);
@@ -217,7 +293,7 @@ mod tests {
         // reduction, one partial to the host.
         let (engine, source) = setup();
         let batch = Batch::from_index_sets([indexset![0, 32, 64, 96]]);
-        let outcome = engine.lookup(&batch, &source).unwrap();
+        let outcome = LookupEngine::lookup(&engine, &batch, &source).unwrap();
         assert_eq!(outcome.ndp_elem_ops, 3 * 128);
         assert_eq!(outcome.core_elem_ops, 0);
         assert_eq!(outcome.bytes_to_host, 512);
@@ -230,7 +306,7 @@ mod tests {
         // misses.
         let sets: Vec<IndexSet> = (0..8).map(|_| indexset![7, 9]).collect();
         let batch = Batch::from_index_sets(sets);
-        let outcome = engine.lookup(&batch, &source).unwrap();
+        let outcome = LookupEngine::lookup(&engine, &batch, &source).unwrap();
         assert_eq!(outcome.memory.requests_completed, 2, "only cold misses reach DRAM");
         assert_eq!(outcome.vectors_read, 16, "all references counted");
     }
@@ -241,7 +317,8 @@ mod tests {
         let engine = RecNmpEngine::paper_default(mem).without_cache();
         let source = StripedSource::new(mem.topology, 128);
         let sets: Vec<IndexSet> = (0..4).map(|_| indexset![7, 9]).collect();
-        let outcome = engine.lookup(&Batch::from_index_sets(sets), &source).unwrap();
+        let outcome =
+            LookupEngine::lookup(&engine, &Batch::from_index_sets(sets), &source).unwrap();
         assert_eq!(outcome.memory.requests_completed, 8);
     }
 
@@ -250,8 +327,7 @@ mod tests {
         let (engine, source) = setup();
         // Batches drawing from a small hot set: the second batch should hit
         // on what the first loaded.
-        let sets: Vec<IndexSet> =
-            (0..4).map(|k| indexset![k, k + 1, k + 2, 40, 41]).collect();
+        let sets: Vec<IndexSet> = (0..4).map(|k| indexset![k, k + 1, k + 2, 40, 41]).collect();
         let batch = Batch::from_index_sets(sets);
         let stream = engine.lookup_stream(&[batch.clone(), batch.clone()], &source).unwrap();
         assert_eq!(stream.len(), 2);
@@ -260,7 +336,7 @@ mod tests {
         assert!(second_hits > first_hits, "{second_hits} vs {first_hits}");
         assert!(second.memory.requests_completed < first.memory.requests_completed);
         // Cold single lookup equals the first stream element's reads.
-        let cold = engine.lookup(&batch, &source).unwrap();
+        let cold = LookupEngine::lookup(&engine, &batch, &source).unwrap();
         assert_eq!(cold.memory.requests_completed, first.memory.requests_completed);
     }
 
@@ -274,8 +350,8 @@ mod tests {
         let batch = Batch::from_index_sets([IndexSet::from_iter_dedup(
             (0..16).map(|i| VectorIndex(i * 37 + 5)),
         )]);
-        let recnmp_outcome = engine.lookup(&batch, &source).unwrap();
-        let tensordimm_outcome = tensordimm.lookup(&batch, &source).unwrap();
+        let recnmp_outcome = LookupEngine::lookup(&engine, &batch, &source).unwrap();
+        let tensordimm_outcome = LookupEngine::lookup(&tensordimm, &batch, &source).unwrap();
         assert!(
             tensordimm_outcome.memory_ns > 2.0 * recnmp_outcome.memory_ns,
             "tensordimm {:.0} vs recnmp {:.0}",

@@ -14,13 +14,15 @@
 //!
 //! Because every rank executes the *same* command stream by symmetry (and
 //! each rank's NDP consumes its chunks over the rank's own port), the memory
-//! phase is simulated on a single representative rank.
+//! phase is simulated on a single representative rank; the plan's
+//! `stats_scale` projects the counters back to all ranks.
 
 use fafnir_core::batch::Batch;
+use fafnir_core::pipeline::{GatherEngine, GatherOutcome, MemoryPlan, PlannedRead};
 use fafnir_core::placement::EmbeddingSource;
 use fafnir_core::timing::PeTiming;
-use fafnir_core::{FafnirError, ReduceOp};
-use fafnir_mem::{Location, MemoryConfig, MemorySystem, Topology};
+use fafnir_core::{FafnirError, LookupResult, ReduceOp};
+use fafnir_mem::{Location, MemoryConfig, Topology};
 
 use crate::model::{LookupEngine, LookupOutcome};
 
@@ -69,47 +71,21 @@ impl TensorDimmEngine {
             column: slot % topology.columns,
         }
     }
-}
 
-impl LookupEngine for TensorDimmEngine {
-    fn name(&self) -> &'static str {
-        "tensordimm"
-    }
-
-    fn lookup<S: EmbeddingSource>(
+    /// Analytic model applied to a gathered plan: serial DIMM adder chains
+    /// after the (representative-rank) memory phase, then the `n × v`
+    /// output transfer.
+    fn outcome<S: EmbeddingSource>(
         &self,
-        batch: &Batch,
+        plan: &MemoryPlan,
+        gathered: &GatherOutcome,
         source: &S,
-    ) -> Result<LookupOutcome, FafnirError> {
-        if batch.is_empty() {
-            return Err(FafnirError::InvalidBatch("batch has no queries".into()));
-        }
-        let topology = self.mem_config.topology;
-        let ranks = topology.total_ranks();
+    ) -> LookupOutcome {
+        let batch = &plan.batch;
         let vector_bytes = source.vector_dim() * 4;
-        // Chunk per rank, padded to the 64 B burst minimum (this padding is
-        // exactly the bandwidth waste the paper calls out).
-        let chunk_bytes = vector_bytes.div_ceil(ranks).max(topology.burst_bytes);
-
-        // Simulate one representative rank: by symmetry every rank issues
-        // the identical chunk-read stream.
-        let mut one_rank = self.mem_config;
-        one_rank.topology.channels = 1;
-        one_rank.topology.dimms_per_channel = 1;
-        one_rank.topology.ranks_per_dimm = 1;
-        let mut memory = MemorySystem::new(one_rank);
-        let mut reads: u64 = 0;
-        for query in batch.queries() {
-            for index in query.indices.iter() {
-                let location = Self::chunk_location(&topology, index.value());
-                memory.submit_read_at(location, chunk_bytes, 0);
-                reads += 1;
-            }
-        }
-        let last = memory.run_until_idle();
         // Every rank runs the identical chunk-read stream on its own NDP
         // port, so the representative rank's time is the memory phase.
-        let memory_ns = self.mem_config.timing.cycles_to_ns(last);
+        let memory_ns = gathered.idle_ns;
 
         // Serial pipelined reduction at each DIMM: (q−1) chain stages for
         // the first query, then one stage per further query (II = 1 stage).
@@ -122,22 +98,10 @@ impl LookupEngine for TensorDimmEngine {
         let dim = source.vector_dim() as u64;
         let partials = batch.total_references() as u64;
 
-        // Memory stats: scale the one-rank counters to all ranks.
-        let mut stats = memory.stats();
-        let scale = ranks as u64;
-        stats.reads *= scale;
-        stats.writes *= scale;
-        stats.activations *= scale;
-        stats.precharges *= scale;
-        stats.row_hits *= scale;
-        stats.row_misses *= scale;
-        stats.row_conflicts *= scale;
-        stats.bytes_transferred *= scale;
-
         let bytes_to_host = batch.len() as u64 * vector_bytes as u64;
         let host_transfer_ns =
             bytes_to_host as f64 / crate::model::CoreModel::server_cpu().link_bytes_per_ns;
-        Ok(LookupOutcome {
+        LookupOutcome {
             outputs,
             total_ns: memory_ns + compute_ns + host_transfer_ns,
             memory_ns,
@@ -146,12 +110,87 @@ impl LookupEngine for TensorDimmEngine {
             // compute stage is busy ~n stages per batch.
             compute_throughput_ns: batch.len() as f64 * stage_ns,
             host_transfer_ns,
-            memory: stats,
-            vectors_read: reads,
+            memory: gathered.memory,
+            vectors_read: plan.reads.len() as u64,
             bytes_to_host,
             ndp_elem_ops: (partials - batch.len() as u64) * dim,
             core_elem_ops: 0,
-        })
+        }
+    }
+}
+
+impl GatherEngine for TensorDimmEngine {
+    type Plan = MemoryPlan;
+
+    fn name(&self) -> &'static str {
+        "tensordimm"
+    }
+
+    /// One chunk read per reference against a single representative rank
+    /// (by symmetry every rank issues the identical stream); counters are
+    /// projected back to all ranks via `stats_scale`.
+    fn preprocess<S: EmbeddingSource>(
+        &self,
+        batch: &Batch,
+        source: &S,
+    ) -> Result<Vec<MemoryPlan>, FafnirError> {
+        if batch.is_empty() {
+            return Err(FafnirError::InvalidBatch("batch has no queries".into()));
+        }
+        let topology = self.mem_config.topology;
+        let ranks = topology.total_ranks();
+        let vector_bytes = source.vector_dim() * 4;
+        // Chunk per rank, padded to the 64 B burst minimum (this padding is
+        // exactly the bandwidth waste the paper calls out).
+        let chunk_bytes = vector_bytes.div_ceil(ranks).max(topology.burst_bytes);
+
+        let mut one_rank = self.mem_config;
+        one_rank.topology.channels = 1;
+        one_rank.topology.dimms_per_channel = 1;
+        one_rank.topology.ranks_per_dimm = 1;
+
+        let mut reads = Vec::new();
+        for query in batch.queries() {
+            for index in query.indices.iter() {
+                reads.push(PlannedRead {
+                    index,
+                    location: Self::chunk_location(&topology, index.value()),
+                    rank: 0,
+                    bytes: chunk_bytes,
+                });
+            }
+        }
+        let mut plan = MemoryPlan::new(batch.clone(), one_rank);
+        plan.reads = reads;
+        plan.stats_scale = ranks as u64;
+        Ok(vec![plan])
+    }
+
+    fn reduce<S: EmbeddingSource>(
+        &self,
+        plan: &MemoryPlan,
+        gathered: GatherOutcome,
+        source: &S,
+    ) -> Result<LookupResult, FafnirError> {
+        let outcome = self.outcome(plan, &gathered, source);
+        Ok(outcome.into_lookup_result(plan.batch.total_references() as u64))
+    }
+}
+
+impl LookupEngine for TensorDimmEngine {
+    fn name(&self) -> &'static str {
+        "tensordimm"
+    }
+
+    fn lookup<S: EmbeddingSource>(
+        &self,
+        batch: &Batch,
+        source: &S,
+    ) -> Result<LookupOutcome, FafnirError> {
+        let plans = self.preprocess(batch, source)?;
+        let plan = &plans[0];
+        let gathered = self.gather(plan);
+        Ok(self.outcome(plan, &gathered, source))
     }
 }
 
@@ -178,14 +217,14 @@ mod tests {
     fn outputs_match_reference() {
         let (engine, source) = setup();
         let batch = Batch::from_index_sets([indexset![1, 2, 5, 6], indexset![3, 4, 5]]);
-        let outcome = engine.lookup(&batch, &source).unwrap();
+        let outcome = LookupEngine::lookup(&engine, &batch, &source).unwrap();
         assert_outputs_match(&outcome, &batch, &source, ReduceOp::Sum);
     }
 
     #[test]
     fn all_reductions_happen_at_ndp() {
         let (engine, source) = setup();
-        let outcome = engine.lookup(&single_query_16(), &source).unwrap();
+        let outcome = LookupEngine::lookup(&engine, &single_query_16(), &source).unwrap();
         assert_eq!(outcome.core_elem_ops, 0);
         assert_eq!(outcome.ndp_elem_ops, 15 * 128);
         assert_eq!(outcome.ndp_fraction(), 1.0);
@@ -195,7 +234,7 @@ mod tests {
     fn data_to_host_is_n_times_v() {
         let (engine, source) = setup();
         let batch = Batch::from_index_sets([indexset![1, 2], indexset![3, 4]]);
-        let outcome = engine.lookup(&batch, &source).unwrap();
+        let outcome = LookupEngine::lookup(&engine, &batch, &source).unwrap();
         assert_eq!(outcome.bytes_to_host, 2 * 512);
     }
 
@@ -203,7 +242,7 @@ mod tests {
     fn memory_latency_is_activation_bound() {
         // 16 chunk reads hit 16 different rows: essentially no row hits.
         let (engine, source) = setup();
-        let outcome = engine.lookup(&single_query_16(), &source).unwrap();
+        let outcome = LookupEngine::lookup(&engine, &single_query_16(), &source).unwrap();
         assert_eq!(outcome.memory.row_hits, 0, "column-major split kills locality");
         assert!(outcome.memory.activations >= 16 * 32);
     }
@@ -216,8 +255,8 @@ mod tests {
         let mem = MemoryConfig::ddr4_2400_4ch();
         let rank_parallel = NoNdpEngine::paper_default(mem);
         let batch = single_query_16();
-        let tensordimm = engine.lookup(&batch, &source).unwrap();
-        let parallel = rank_parallel.lookup(&batch, &source).unwrap();
+        let tensordimm = LookupEngine::lookup(&engine, &batch, &source).unwrap();
+        let parallel = LookupEngine::lookup(&rank_parallel, &batch, &source).unwrap();
         assert!(
             tensordimm.memory_ns > 2.0 * parallel.memory_ns,
             "tensordimm {:.0} ns vs rank-parallel {:.0} ns",
@@ -229,12 +268,22 @@ mod tests {
     #[test]
     fn compute_pipeline_scales_with_batch() {
         let (engine, source) = setup();
-        let one = engine.lookup(&single_query_16(), &source).unwrap();
+        let one = LookupEngine::lookup(&engine, &single_query_16(), &source).unwrap();
         let mut sets = Vec::new();
         for b in 0..8u32 {
             sets.push(IndexSet::from_iter_dedup((0..16).map(|i| VectorIndex(b * 100 + i))));
         }
-        let eight = engine.lookup(&Batch::from_index_sets(sets), &source).unwrap();
+        let eight = LookupEngine::lookup(&engine, &Batch::from_index_sets(sets), &source).unwrap();
         assert!(eight.compute_ns > one.compute_ns);
+    }
+
+    #[test]
+    fn staged_stats_scale_matches_direct_lookup() {
+        let (engine, source) = setup();
+        let batch = single_query_16();
+        let outcome = LookupEngine::lookup(&engine, &batch, &source).unwrap();
+        let result = GatherEngine::lookup(&engine, &batch, &source).unwrap();
+        assert_eq!(result.memory, outcome.memory, "stats_scale applied identically");
+        assert_eq!(result.latency.memory_ns, outcome.memory_ns);
     }
 }

@@ -6,9 +6,9 @@
 //!    approaches uniform),
 //! 4. hardware batch capacity (splitting software batches).
 
-use fafnir_baselines::{FafnirLookup, LookupEngine};
+use fafnir_baselines::LookupEngine;
 use fafnir_bench::{banner, ns, paper_memory, paper_traffic, print_table, times};
-use fafnir_core::{FafnirConfig, StripedSource};
+use fafnir_core::{FafnirConfig, FafnirEngine, StripedSource};
 use fafnir_mem::PagePolicy;
 use fafnir_workloads::query::{BatchGenerator, Popularity};
 
@@ -43,9 +43,8 @@ fn table_placement() {
         ("rank-striped (paper)", TablePlacement::RankStriped),
         ("table-contiguous", TablePlacement::TableContiguous),
     ] {
-        let tables =
-            EmbeddingTableSet::new(mem.topology, 32, 4_096, 128).with_placement(placement);
-        let engine = FafnirLookup::paper_default(mem).expect("engine");
+        let tables = EmbeddingTableSet::new(mem.topology, 32, 4_096, 128).with_placement(placement);
+        let engine = FafnirEngine::paper_default(mem).expect("engine");
         let outcome = engine.lookup(&batch, &tables).expect("lookup");
         rows.push(vec![
             name.into(),
@@ -72,7 +71,7 @@ fn scheduler_policy() {
     ] {
         let mut mem = paper_memory();
         mem.scheduler = scheduler;
-        let engine = FafnirLookup::paper_default(mem).expect("engine");
+        let engine = FafnirEngine::paper_default(mem).expect("engine");
         let outcome = engine.lookup(&batch, &source).expect("lookup");
         rows.push(vec![
             name.into(),
@@ -91,12 +90,12 @@ fn host_arrangement() {
     );
     let mem = paper_memory();
     let source = StripedSource::new(mem.topology, 128);
-    let naive = FafnirLookup::new(
+    let naive = FafnirEngine::new(
         FafnirConfig { batch_capacity: 16, ..FafnirConfig::paper_default() },
         mem,
     )
     .expect("engine");
-    let arranged = FafnirLookup::new(
+    let arranged = FafnirEngine::new(
         FafnirConfig { batch_capacity: 16, arrange_batches: true, ..FafnirConfig::paper_default() },
         mem,
     )
@@ -113,8 +112,7 @@ fn host_arrangement() {
             arranged_outcome.vectors_read.to_string(),
             format!(
                 "{:.1} %",
-                (1.0 - arranged_outcome.vectors_read as f64
-                    / naive_outcome.vectors_read as f64)
+                (1.0 - arranged_outcome.vectors_read as f64 / naive_outcome.vectors_read as f64)
                     * 100.0
             ),
         ]);
@@ -135,10 +133,7 @@ drift — but dedup matches the 128 KB-per-rank cache benefit with zero storage"
     let mut rows = Vec::new();
     for (name, popularity) in [
         ("static zipf 1.05", Popularity::Zipf { exponent: 1.05 }),
-        (
-            "drifting (2 idx/query)",
-            Popularity::DriftingZipf { exponent: 1.05, drift_per_query: 2 },
-        ),
+        ("drifting (2 idx/query)", Popularity::DriftingZipf { exponent: 1.05, drift_per_query: 2 }),
         (
             "drifting (20 idx/query)",
             Popularity::DriftingZipf { exponent: 1.05, drift_per_query: 20 },
@@ -177,7 +172,7 @@ fn leaf_ratio() {
     let mut rows = Vec::new();
     for ranks_per_leaf in [1usize, 2, 4] {
         let config = FafnirConfig { ranks_per_leaf, ..FafnirConfig::paper_default() };
-        let engine = FafnirLookup::new(config, mem).expect("valid config");
+        let engine = FafnirEngine::new(config, mem).expect("valid config");
         let outcome = engine.lookup(&batch, &source).expect("lookup");
         rows.push(vec![
             format!("1PE:{ranks_per_leaf}R"),
@@ -203,19 +198,17 @@ vector streams from one row visit, so smart auto-precharge costs nothing",
     // Row-reuse stress: indices 512 apart land in the same (rank, bank,
     // row) under the striped layout — open-page converts the repeat visits
     // into row hits.
-    let stress_batch = fafnir_core::Batch::from_index_sets([
-        fafnir_core::IndexSet::from_iter_dedup(
+    let stress_batch =
+        fafnir_core::Batch::from_index_sets([fafnir_core::IndexSet::from_iter_dedup(
             (0..16u32).map(|i| fafnir_core::VectorIndex(i * 512)),
-        ),
-    ]);
-    for (label, batch) in [("random traffic", &random_batch), ("row-reuse stress", &stress_batch)]
-    {
+        )]);
+    for (label, batch) in [("random traffic", &random_batch), ("row-reuse stress", &stress_batch)] {
         println!("{label}:");
         let mut rows = Vec::new();
         for (name, policy) in [("open", PagePolicy::Open), ("closed", PagePolicy::Closed)] {
             let mut mem = paper_memory();
             mem.page_policy = policy;
-            let engine = FafnirLookup::paper_default(mem).expect("engine");
+            let engine = FafnirEngine::paper_default(mem).expect("engine");
             let outcome = engine.lookup(batch, &source).expect("lookup");
             rows.push(vec![
                 name.into(),
@@ -236,13 +229,12 @@ fn skew_sweep() {
     );
     let mem = paper_memory();
     let source = StripedSource::new(mem.topology, 128);
-    let dedup = FafnirLookup::paper_default(mem).expect("engine");
+    let dedup = FafnirEngine::paper_default(mem).expect("engine");
     let raw_config = FafnirConfig { dedup: false, ..FafnirConfig::paper_default() };
-    let raw = FafnirLookup::new(raw_config, mem).expect("engine");
+    let raw = FafnirEngine::new(raw_config, mem).expect("engine");
     let mut rows = Vec::new();
     for exponent in [0.0f64, 0.6, 1.05, 1.4] {
-        let mut generator =
-            BatchGenerator::new(Popularity::Zipf { exponent }, 2_000, 16, 63);
+        let mut generator = BatchGenerator::new(Popularity::Zipf { exponent }, 2_000, 16, 63);
         let mut savings = 0.0;
         let mut win = 0.0;
         let trials = 5;
@@ -274,7 +266,7 @@ fn batch_capacity() {
     let mut rows = Vec::new();
     for capacity in [8usize, 16, 32] {
         let config = FafnirConfig { batch_capacity: capacity, ..FafnirConfig::paper_default() };
-        let engine = FafnirLookup::new(config, mem).expect("engine");
+        let engine = FafnirEngine::new(config, mem).expect("engine");
         let outcome = engine.lookup(&batch, &source).expect("lookup");
         rows.push(vec![
             capacity.to_string(),

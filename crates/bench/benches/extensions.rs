@@ -9,7 +9,7 @@
 //! 4. **Interactive vs batch processing** (Sec. IV-C's interactive mode).
 //! 5. The deployment report for the paper's floorplan (Fig. 4a).
 
-use fafnir_baselines::{FafnirLookup, LookupEngine, NoNdpEngine, RecNmpEngine};
+use fafnir_baselines::{LookupEngine, NoNdpEngine, RecNmpEngine};
 use fafnir_bench::{banner, engines, ns, paper_memory, paper_traffic, print_table, times};
 use fafnir_core::model::energy::TreeEnergyModel;
 use fafnir_core::model::report::DeploymentSummary;
@@ -43,7 +43,8 @@ long-running comparison",
     let warm = recnmp.lookup_stream(&batches, &source).expect("recnmp stream");
     let mut rows = Vec::new();
     for (position, (outcome, hit_rate)) in warm.iter().enumerate() {
-        let fafnir_result = fafnir.lookup(&batches[position], &source).expect("fafnir");
+        let fafnir_result = fafnir_core::GatherEngine::lookup(&fafnir, &batches[position], &source)
+            .expect("fafnir");
         rows.push(vec![
             position.to_string(),
             format!("{:.0} %", hit_rate * 100.0),
@@ -76,7 +77,7 @@ fn tail_latency_and_stragglers() {
         let mut mem = paper_memory();
         mem.straggler = straggler;
         let engine = FafnirEngine::new(FafnirConfig::paper_default(), mem).expect("engine");
-        let result = engine.lookup(&batch, &source).expect("lookup");
+        let result = fafnir_core::GatherEngine::lookup(&engine, &batch, &source).expect("lookup");
         rows.push(vec![
             name.into(),
             ns(result.completion_percentile_ns(0.25)),
@@ -130,12 +131,9 @@ fn buffer_sizing_validation() {
                 format!("{} cy", run.completion_cycle),
                 run.max_occupancy.to_string(),
             ],
-            Err(_) => vec![
-                capacity.to_string(),
-                "DEADLOCK".into(),
-                "-".into(),
-                "window > FIFO".into(),
-            ],
+            Err(_) => {
+                vec![capacity.to_string(), "DEADLOCK".into(), "-".into(), "window > FIFO".into()]
+            }
         });
     }
     print_table(&["FIFO capacity", "outcome", "completion", "max occupancy"], &rows);
@@ -153,8 +151,10 @@ fn measured_stream_throughput() {
     let mut rows = Vec::new();
     for batch_size in [8usize, 16, 32] {
         let batches: Vec<_> = (0..8).map(|_| generator.batch(batch_size)).collect();
-        let stream = engine.lookup_stream(&batches, &source).expect("stream");
-        let single = engine.lookup(&batches[0], &source).expect("single");
+        let stream =
+            fafnir_core::GatherEngine::lookup_stream(&engine, &batches, &source).expect("stream");
+        let single =
+            fafnir_core::GatherEngine::lookup(&engine, &batches[0], &source).expect("single");
         rows.push(vec![
             batch_size.to_string(),
             ns(single.latency.total_ns),
@@ -182,7 +182,7 @@ fn hbm_integration() {
         ("HBM2, 32 pseudo ch.", MemoryConfig::hbm2_32pc()),
     ] {
         let source = StripedSource::new(mem.topology, 128);
-        let engine = FafnirLookup::paper_default(mem).expect("engine");
+        let engine = FafnirEngine::paper_default(mem).expect("engine");
         let outcome = engine.lookup(&batch, &source).expect("lookup");
         rows.push(vec![
             name.into(),
@@ -211,7 +211,7 @@ fn energy_accounting() {
     let tree_nj = {
         // Re-run through the core engine to get tree op counters.
         let core = FafnirEngine::new(FafnirConfig::paper_default(), mem).expect("engine");
-        let result = core.lookup(&batch, &source).expect("lookup");
+        let result = fafnir_core::GatherEngine::lookup(&core, &batch, &source).expect("lookup");
         tree_model.tree_energy_nj(&result.tree.ops)
     };
     let mut rows = vec![vec![
@@ -227,12 +227,7 @@ fn energy_accounting() {
         ("no-ndp", no_ndp.lookup(&batch, &source).expect("no-ndp")),
     ] {
         let dram = dram_model.dynamic_nj(&outcome.memory);
-        rows.push(vec![
-            name.into(),
-            format!("{dram:.0} nJ"),
-            "-".into(),
-            format!("{dram:.0} nJ"),
-        ]);
+        rows.push(vec![name.into(), format!("{dram:.0} nJ"), "-".into(), format!("{dram:.0} nJ")]);
     }
     print_table(&["engine", "DRAM dynamic", "tree", "total"], &rows);
 }
@@ -253,9 +248,10 @@ fn refresh_sensitivity() {
         let mut ids = Vec::new();
         for burst in 0..64u64 {
             // Paced arrivals stretch the stream over 4 × tREFI.
-            ids.push(system.submit(
-                fafnir_mem::Request::read(burst * 16 * 8192, 512).at(burst * interval),
-            ));
+            ids.push(
+                system
+                    .submit(fafnir_mem::Request::read(burst * 16 * 8192, 512).at(burst * interval)),
+            );
         }
         let done = system.run_until_idle();
         let stats = system.stats();
@@ -278,7 +274,7 @@ fn interactive_vs_batch() {
     let source = StripedSource::new(mem.topology, 128);
     let engine = FafnirEngine::new(FafnirConfig::paper_default(), mem).expect("engine");
     let batch = paper_traffic(74).batch(16);
-    let batched = engine.lookup(&batch, &source).expect("batched");
+    let batched = fafnir_core::GatherEngine::lookup(&engine, &batch, &source).expect("batched");
     let interactive = engine.lookup_interactive(&batch, &source).expect("interactive");
     let rows = vec![
         vec![

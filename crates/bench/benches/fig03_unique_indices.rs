@@ -32,9 +32,6 @@ fn main() {
             ]
         })
         .collect();
-    print_table(
-        &["batch", "unique (zipf)", "savings (zipf)", "unique (uniform)"],
-        &rows,
-    );
+    print_table(&["batch", "unique (zipf)", "savings (zipf)", "unique (uniform)"], &rows);
     println!("\npaper targets at B=8/16/32: savings 34 % / 43 % / 58 %");
 }

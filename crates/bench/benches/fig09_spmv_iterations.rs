@@ -12,9 +12,7 @@ fn main() {
         "Figure 9 — iterations and rounds for large-matrix SpMV",
         "no more than two merge iterations even at 20 M columns (vector size 2048)",
     );
-    let columns = [
-        1_000usize, 10_000, 100_000, 1_000_000, 5_000_000, 10_000_000, 20_000_000,
-    ];
+    let columns = [1_000usize, 10_000, 100_000, 1_000_000, 5_000_000, 10_000_000, 20_000_000];
     for vector_size in [1024usize, 2048] {
         println!("vector size = {vector_size}");
         let rows: Vec<Vec<String>> = columns

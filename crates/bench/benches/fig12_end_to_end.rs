@@ -7,9 +7,9 @@
 //! FAFNIR keeps following it to 32 ranks thanks to the channel node
 //! performing *all* reductions at NDP.
 
-use fafnir_baselines::{FafnirLookup, LookupEngine, RecNmpEngine};
+use fafnir_baselines::{LookupEngine, RecNmpEngine};
 use fafnir_bench::{banner, print_table, times};
-use fafnir_core::{Batch, FafnirConfig};
+use fafnir_core::{Batch, FafnirConfig, FafnirEngine};
 use fafnir_mem::MemoryConfig;
 use fafnir_workloads::query::{BatchGenerator, Popularity};
 use fafnir_workloads::recsys::{InferenceBreakdown, RecSysModel};
@@ -56,8 +56,7 @@ const RANKS: [usize; 6] = [1, 2, 4, 8, 16, 32];
 
 /// The same query batches for every configuration.
 fn workload() -> Vec<Batch> {
-    let mut generator =
-        BatchGenerator::new(Popularity::Zipf { exponent: 1.15 }, 2_000, 16, 1212);
+    let mut generator = BatchGenerator::new(Popularity::Zipf { exponent: 1.15 }, 2_000, 16, 1212);
     (0..TRIALS).map(|_| generator.batch(8)).collect()
 }
 
@@ -77,9 +76,8 @@ fn tables_for(mem: MemoryConfig) -> EmbeddingTableSet {
 fn fafnir_embedding_ns(ranks: usize, batches: &[Batch]) -> f64 {
     let mem = MemoryConfig::with_total_ranks(ranks);
     let tables = tables_for(mem);
-    let config =
-        FafnirConfig { ranks_per_leaf: ranks.min(2), ..FafnirConfig::paper_default() };
-    let engine = FafnirLookup::new(config, mem).expect("fafnir engine");
+    let config = FafnirConfig { ranks_per_leaf: ranks.min(2), ..FafnirConfig::paper_default() };
+    let engine = FafnirEngine::new(config, mem).expect("fafnir engine");
     batches
         .iter()
         .map(|batch| engine.lookup(batch, &tables).expect("fafnir lookup").sustained_ns())

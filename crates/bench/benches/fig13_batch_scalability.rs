@@ -8,7 +8,9 @@
 //! trip), the service model recommendation inference uses.
 
 use fafnir_baselines::LookupEngine;
-use fafnir_bench::{banner, engines, fafnir_without_dedup, paper_memory, paper_traffic, print_table, times};
+use fafnir_bench::{
+    banner, engines, fafnir_without_dedup, paper_memory, paper_traffic, print_table, times,
+};
 use fafnir_core::{FafnirConfig, FafnirEngine, StripedSource};
 
 fn main() {
@@ -29,10 +31,13 @@ fn main() {
         let mut throughput = [0.0f64; 5]; // tensordimm, recnmp, recnmp-nc, fafnir-raw, fafnir
         for _ in 0..trials {
             let batch = generator.batch(batch_size);
-            throughput[0] += tensordimm.lookup(&batch, &source).expect("tensordimm").queries_per_second();
+            throughput[0] +=
+                tensordimm.lookup(&batch, &source).expect("tensordimm").queries_per_second();
             throughput[1] += recnmp.lookup(&batch, &source).expect("recnmp").queries_per_second();
-            throughput[2] += recnmp_no_cache.lookup(&batch, &source).expect("recnmp-nc").queries_per_second();
-            throughput[3] += fafnir_raw.lookup(&batch, &source).expect("fafnir-raw").queries_per_second();
+            throughput[2] +=
+                recnmp_no_cache.lookup(&batch, &source).expect("recnmp-nc").queries_per_second();
+            throughput[3] +=
+                fafnir_raw.lookup(&batch, &source).expect("fafnir-raw").queries_per_second();
             throughput[4] += fafnir.lookup(&batch, &source).expect("fafnir").queries_per_second();
         }
         let [td, rn, rn_nc, fr, fd] = throughput.map(|t| t / trials as f64);
@@ -66,7 +71,8 @@ fn main() {
     let mut rows = Vec::new();
     for batch_size in [8usize, 16, 32] {
         let batches: Vec<_> = (0..trials).map(|_| generator.batch(batch_size)).collect();
-        let stream = core_engine.lookup_stream(&batches, &source).expect("stream");
+        let stream = fafnir_core::GatherEngine::lookup_stream(&core_engine, &batches, &source)
+            .expect("stream");
         let mut recnmp_qps = 0.0;
         for batch in &batches {
             recnmp_qps +=

@@ -5,7 +5,9 @@
 //! batch size.
 
 use fafnir_baselines::LookupEngine;
-use fafnir_bench::{banner, engines, fafnir_without_dedup, paper_memory, paper_traffic, print_table};
+use fafnir_bench::{
+    banner, engines, fafnir_without_dedup, paper_memory, paper_traffic, print_table,
+};
 use fafnir_core::StripedSource;
 use fafnir_mem::EnergyModel;
 

@@ -53,7 +53,10 @@ fn main() {
         ],
     ];
     print_table(&["component", "area", "power"], &rows);
-    println!("per-DIMM added power: {:.1} mW (vs RecNMP's 184.2 mW/DIMM at 40 nm)\n", asic.per_dimm_power_mw());
+    println!(
+        "per-DIMM added power: {:.1} mW (vs RecNMP's 184.2 mW/DIMM at 40 nm)\n",
+        asic.per_dimm_power_mw()
+    );
 
     println!("Fig. 16b — PE power distribution (uniform, no hot spot):");
     let breakdown = PePowerBreakdown::paper();

@@ -81,9 +81,7 @@ fn bench_zipf_sampling(c: &mut Criterion) {
 
 fn bench_stream_merge(c: &mut Criterion) {
     let streams: Vec<PartialStream> = (0..64)
-        .map(|s| {
-            PartialStream::from_sorted((0..256).map(|i| (i * 64 + s, 1.0)).collect())
-        })
+        .map(|s| PartialStream::from_sorted((0..256).map(|i| (i * 64 + s, 1.0)).collect()))
         .collect();
     c.bench_function("merge_tree_64_streams", |b| {
         b.iter_batched(
@@ -98,7 +96,7 @@ fn bench_stream_merge(c: &mut Criterion) {
 }
 
 fn bench_engine_lookup(c: &mut Criterion) {
-    use fafnir_core::{FafnirEngine, StripedSource};
+    use fafnir_core::{FafnirEngine, GatherEngine, StripedSource};
     let mem = MemoryConfig::ddr4_2400_4ch();
     let engine = FafnirEngine::new(FafnirConfig::paper_default(), mem).expect("engine");
     let source = StripedSource::new(mem.topology, 128);

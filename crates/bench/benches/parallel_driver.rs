@@ -1,0 +1,117 @@
+//! Sequential vs parallel multi-batch execution.
+//!
+//! Compares the trait-level sequential [`GatherEngine::lookup_stream`]
+//! (every hardware batch's reads share ONE memory system and one FR-FCFS
+//! queue) against the [`ParallelBatchDriver`] (independent hardware batches
+//! on private memory systems, fanned out over worker threads). Two effects
+//! stack:
+//!
+//! * splitting the stream into per-plan memory systems keeps the scheduler
+//!   queue shallow, so even `driver(1)` beats the shared-queue path, and
+//! * with multiple host cores the per-plan simulations overlap.
+//!
+//! Results are written to `BENCH_parallel_driver.json` at the repo root.
+
+use std::time::Instant;
+
+use criterion::black_box;
+use fafnir_bench::{banner, paper_memory, paper_traffic, print_table, times};
+use fafnir_core::{Batch, FafnirEngine, GatherEngine, ParallelBatchDriver, StripedSource};
+
+const SOFTWARE_BATCHES: usize = 8;
+const QUERIES_PER_BATCH: usize = 32; // = paper batch capacity -> 8 hardware batches
+const SAMPLES: u32 = 10;
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn measure<F: FnMut()>(mut body: F) -> f64 {
+    for _ in 0..2 {
+        body(); // warm-up
+    }
+    let start = Instant::now();
+    for _ in 0..SAMPLES {
+        body();
+    }
+    start.elapsed().as_secs_f64() * 1e9 / f64::from(SAMPLES)
+}
+
+fn main() {
+    banner(
+        "Parallel multi-batch driver — host-side wall clock",
+        "independent hardware batches on private memory systems vs one shared queue",
+    );
+    let mem = paper_memory();
+    let source = StripedSource::new(mem.topology, 128);
+    let engine = FafnirEngine::paper_default(mem).expect("engine");
+    let mut generator = paper_traffic(2121);
+    let batches: Vec<Batch> =
+        (0..SOFTWARE_BATCHES).map(|_| generator.batch(QUERIES_PER_BATCH)).collect();
+    let hardware_batches: usize =
+        batches.iter().map(|batch| batch.len().div_ceil(engine.config().batch_capacity)).sum();
+
+    let sequential_ns = measure(|| {
+        black_box(engine.lookup_stream(&batches, &source).expect("sequential stream"));
+    });
+
+    let mut driver_ns = Vec::new();
+    for threads in THREADS {
+        let driver = ParallelBatchDriver::new(threads);
+        driver_ns.push(measure(|| {
+            black_box(driver.lookup_stream(&engine, &batches, &source).expect("driver stream"));
+        }));
+    }
+
+    // Sanity: the driver's results are thread-count-invariant (the full
+    // check lives in tests/determinism.rs).
+    let reference = ParallelBatchDriver::new(1)
+        .lookup_stream(&engine, &batches, &source)
+        .expect("driver stream");
+    for threads in THREADS {
+        let result = ParallelBatchDriver::new(threads)
+            .lookup_stream(&engine, &batches, &source)
+            .expect("driver stream");
+        assert_eq!(result, reference, "driver({threads}) nondeterministic");
+    }
+
+    let mut rows = vec![vec![
+        "sequential lookup_stream".to_string(),
+        format!("{:.2} ms", sequential_ns / 1e6),
+        times(1.0),
+    ]];
+    for (threads, ns) in THREADS.iter().zip(&driver_ns) {
+        rows.push(vec![
+            format!("parallel driver ({threads} threads)"),
+            format!("{:.2} ms", ns / 1e6),
+            times(sequential_ns / ns),
+        ]);
+    }
+    print_table(&["path", "wall clock / stream", "speedup"], &rows);
+    println!(
+        "\n{SOFTWARE_BATCHES} software batches x {QUERIES_PER_BATCH} queries \
+         = {hardware_batches} hardware batches; {SAMPLES} samples each"
+    );
+
+    let host_cores = std::thread::available_parallelism().map_or(0, usize::from);
+    let driver_json: Vec<String> = THREADS
+        .iter()
+        .zip(&driver_ns)
+        .map(|(threads, ns)| {
+            format!(
+                "    {{\"threads\": {threads}, \"wall_ns\": {ns:.0}, \
+                 \"speedup_vs_sequential\": {:.3}}}",
+                sequential_ns / ns
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"parallel_driver\",\n  \"software_batches\": {SOFTWARE_BATCHES},\n  \
+         \"queries_per_batch\": {QUERIES_PER_BATCH},\n  \
+         \"hardware_batches\": {hardware_batches},\n  \"samples\": {SAMPLES},\n  \
+         \"host_cores\": {host_cores},\n  \
+         \"sequential_lookup_stream_wall_ns\": {sequential_ns:.0},\n  \
+         \"parallel_driver\": [\n{}\n  ]\n}}\n",
+        driver_json.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel_driver.json");
+    std::fs::write(path, json).expect("write BENCH_parallel_driver.json");
+    println!("recorded {path}");
+}

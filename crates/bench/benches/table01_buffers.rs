@@ -22,6 +22,8 @@ fn main() {
         })
         .collect();
     print_table(&["B", "entry", "PE buffer", "DIMM/rank node", "channel node"], &rows);
-    println!("\nmax PE outputs: min(nm + n + m, B), e.g. n=m=4, B=32 -> {}",
-        BufferModel::paper(32).max_outputs(4, 4));
+    println!(
+        "\nmax PE outputs: min(nm + n + m, B), e.g. n=m=4, B=32 -> {}",
+        BufferModel::paper(32).max_outputs(4, 4)
+    );
 }

@@ -8,8 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use fafnir_baselines::{FafnirLookup, NoNdpEngine, RecNmpEngine, TensorDimmEngine};
-use fafnir_core::FafnirConfig;
+use fafnir_baselines::{NoNdpEngine, RecNmpEngine, TensorDimmEngine};
+use fafnir_core::{FafnirConfig, FafnirEngine};
 use fafnir_mem::MemoryConfig;
 use fafnir_workloads::query::{BatchGenerator, Popularity};
 
@@ -91,9 +91,9 @@ pub fn paper_memory() -> MemoryConfig {
 /// Panics if the FAFNIR configuration is rejected (cannot happen for the
 /// defaults).
 #[must_use]
-pub fn engines(mem: MemoryConfig) -> (FafnirLookup, RecNmpEngine, TensorDimmEngine, NoNdpEngine) {
+pub fn engines(mem: MemoryConfig) -> (FafnirEngine, RecNmpEngine, TensorDimmEngine, NoNdpEngine) {
     (
-        FafnirLookup::paper_default(mem).expect("valid default config"),
+        FafnirEngine::paper_default(mem).expect("valid default config"),
         RecNmpEngine::paper_default(mem),
         TensorDimmEngine::paper_default(mem),
         NoNdpEngine::paper_default(mem),
@@ -106,9 +106,9 @@ pub fn engines(mem: MemoryConfig) -> (FafnirLookup, RecNmpEngine, TensorDimmEngi
 ///
 /// Panics if the configuration is rejected (cannot happen for the defaults).
 #[must_use]
-pub fn fafnir_without_dedup(mem: MemoryConfig) -> FafnirLookup {
+pub fn fafnir_without_dedup(mem: MemoryConfig) -> FafnirEngine {
     let config = FafnirConfig { dedup: false, ..FafnirConfig::paper_default() };
-    FafnirLookup::new(config, mem).expect("valid config")
+    FafnirEngine::new(config, mem).expect("valid config")
 }
 
 /// Formats a ratio as `x.xx×`.

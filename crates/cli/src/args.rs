@@ -56,9 +56,8 @@ impl ParsedArgs {
                 parsed.switches.push(key.to_string());
                 continue;
             }
-            let value = tokens
-                .next()
-                .ok_or_else(|| ArgError(format!("flag `--{key}` needs a value")))?;
+            let value =
+                tokens.next().ok_or_else(|| ArgError(format!("flag `--{key}` needs a value")))?;
             if parsed.values.insert(key.to_string(), value).is_some() {
                 return Err(ArgError(format!("flag `--{key}` given twice")));
             }

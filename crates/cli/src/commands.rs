@@ -1,11 +1,9 @@
 //! The CLI subcommands: each takes parsed flags and returns its report as a
 //! string (so the logic is unit-testable without capturing stdout).
 
-use fafnir_baselines::{
-    FafnirLookup, LookupEngine, LookupOutcome, NoNdpEngine, RecNmpEngine, TensorDimmEngine,
-};
+use fafnir_baselines::{LookupEngine, LookupOutcome, NoNdpEngine, RecNmpEngine, TensorDimmEngine};
 use fafnir_core::model::report::DeploymentSummary;
-use fafnir_core::{FafnirConfig, StripedSource};
+use fafnir_core::{FafnirConfig, FafnirEngine, StripedSource};
 use fafnir_mem::MemoryConfig;
 use fafnir_sparse::{fafnir_spmv, gen, two_step, LilMatrix, SpmvTiming};
 use fafnir_workloads::query::{BatchGenerator, Popularity};
@@ -92,11 +90,8 @@ fn lookup(args: &ParsedArgs) -> Result<String, ArgError> {
     let mut mem = memory_for(ranks)?;
     mem.refresh = args.switch("refresh");
     let source = StripedSource::new(mem.topology, 128);
-    let popularity = if skew == 0.0 {
-        Popularity::Uniform
-    } else {
-        Popularity::Zipf { exponent: skew }
-    };
+    let popularity =
+        if skew == 0.0 { Popularity::Uniform } else { Popularity::Zipf { exponent: skew } };
     let mut generator = BatchGenerator::new(popularity, universe, query_len, seed);
     let batch = generator.batch(batch_size);
 
@@ -115,15 +110,18 @@ fn lookup(args: &ParsedArgs) -> Result<String, ArgError> {
         dedup: !args.switch("no-dedup"),
         ..FafnirConfig::paper_default()
     };
+    if !["all", "fafnir", "recnmp", "tensordimm", "no-ndp"].contains(&engine_choice) {
+        return Err(ArgError(format!(
+            "unknown engine `{engine_choice}` (fafnir|recnmp|tensordimm|no-ndp|all)"
+        )));
+    }
     let wants = |name: &str| engine_choice == "all" || engine_choice == name;
     if wants("fafnir") {
-        let engine = FafnirLookup::new(config, mem)
+        let engine = FafnirEngine::new(config, mem)
             .map_err(|e| ArgError(format!("fafnir configuration: {e}")))?;
         let outcome = if args.switch("interactive") {
-            let result = engine
-                .engine()
-                .lookup_interactive(&batch, &source)
-                .map_err(|e| ArgError(e.to_string()))?;
+            let result =
+                engine.lookup_interactive(&batch, &source).map_err(|e| ArgError(e.to_string()))?;
             out.push_str(&format!(
                 "{:<12} {:>10.2} us {:>12} {:>14} B {:>9} %\n",
                 "fafnir*",
@@ -290,12 +288,16 @@ fn anatomy(args: &ParsedArgs) -> Result<String, ArgError> {
         tree.levels()
     );
     out.push_str(&trace.render_waterfall(56));
-    out.push_str("
+    out.push_str(
+        "
 per-level roll-up (level, reduces, forwards, outputs):
-");
+",
+    );
     for (level, reduces, forwards, outputs) in trace.level_summary() {
-        out.push_str(&format!("  L{level}: r{reduces} f{forwards} out {outputs}
-"));
+        out.push_str(&format!(
+            "  L{level}: r{reduces} f{forwards} out {outputs}
+"
+        ));
     }
     out.push_str(&format!(
         "completion {:.0} ns, {} incomplete outputs
@@ -315,12 +317,14 @@ fn selftest(args: &ParsedArgs) -> Result<String, ArgError> {
     let config = FafnirConfig { ranks_per_leaf: ratio, ..FafnirConfig::paper_default() };
     let engine = FafnirEngine::new(config, mem).map_err(|e| ArgError(e.to_string()))?;
     let source = StripedSource::new(mem.topology, 128);
-    let mut generator =
-        BatchGenerator::new(Popularity::Zipf { exponent: 1.15 }, 2_000, 16, seed);
+    let mut generator = BatchGenerator::new(Popularity::Zipf { exponent: 1.15 }, 2_000, 16, seed);
     let batches: Vec<_> = (0..batch_count.max(1)).map(|_| generator.batch(16)).collect();
     let report = verify_engine(&engine, &source, &batches);
-    Ok(format!("{}
-", report.summary()))
+    Ok(format!(
+        "{}
+",
+        report.summary()
+    ))
 }
 
 fn energy(args: &ParsedArgs) -> Result<String, ArgError> {
@@ -350,7 +354,8 @@ fn energy(args: &ParsedArgs) -> Result<String, ArgError> {
     for (name, dedup) in [("with dedup", true), ("without dedup", false)] {
         let config = FafnirConfig { dedup, ..FafnirConfig::paper_default() };
         let engine = FafnirEngine::new(config, mem).map_err(|e| ArgError(e.to_string()))?;
-        let result = engine.lookup(&batch, &source).map_err(|e| ArgError(e.to_string()))?;
+        let result = fafnir_core::GatherEngine::lookup(&engine, &batch, &source)
+            .map_err(|e| ArgError(e.to_string()))?;
         let dram_nj = dram_model.dynamic_nj(&result.memory);
         let tree_nj = tree_model.tree_energy_nj(&result.tree.ops);
         out.push_str(&format!(
@@ -365,9 +370,8 @@ fn energy(args: &ParsedArgs) -> Result<String, ArgError> {
 
 fn trace(args: &ParsedArgs) -> Result<String, ArgError> {
     if let Some(count) = args.get("record") {
-        let count: usize = count
-            .parse()
-            .map_err(|_| ArgError(format!("--record: `{count}` is not a number")))?;
+        let count: usize =
+            count.parse().map_err(|_| ArgError(format!("--record: `{count}` is not a number")))?;
         let skew: f64 = args.number_or("skew", 1.15)?;
         let universe: u64 = args.number_or("universe", 2_000)?;
         let query_len: usize = args.number_or("query-len", 16)?;
@@ -450,8 +454,7 @@ mod tests {
 
     #[test]
     fn lookup_interactive_mode_annotates() {
-        let out =
-            run_line("lookup --batch 2 --query-len 4 --engine fafnir --interactive").unwrap();
+        let out = run_line("lookup --batch 2 --query-len 4 --engine fafnir --interactive").unwrap();
         assert!(out.contains("fafnir*"));
         assert!(out.contains("interactive mode"));
     }

@@ -164,10 +164,7 @@ impl Batch {
     #[must_use]
     pub fn split(&self, capacity: usize) -> Vec<Batch> {
         assert!(capacity > 0, "batch capacity must be non-zero");
-        self.queries
-            .chunks(capacity)
-            .map(|chunk| Batch { queries: chunk.to_vec() })
-            .collect()
+        self.queries.chunks(capacity).map(|chunk| Batch { queries: chunk.to_vec() }).collect()
     }
 
     /// Host-side arrangement (Sec. IV-B: "the application software at host
@@ -204,8 +201,7 @@ impl Batch {
                     .iter()
                     .enumerate()
                     .map(|(position, query)| {
-                        let shared =
-                            query.indices.iter().filter(|&i| pool.contains(i)).count();
+                        let shared = query.indices.iter().filter(|&i| pool.contains(i)).count();
                         (position, shared)
                     })
                     .max_by_key(|&(_, shared)| shared)
@@ -323,8 +319,7 @@ mod tests {
             indexset![1, 2, 5],
             indexset![10, 11, 14],
         ]);
-        let naive: usize =
-            batch.split(3).iter().map(|b| b.unique_indices().len()).sum();
+        let naive: usize = batch.split(3).iter().map(|b| b.unique_indices().len()).sum();
         let arranged: usize =
             batch.split_for_sharing(3).iter().map(|b| b.unique_indices().len()).sum();
         assert!(arranged < naive, "arranged {arranged} vs naive {naive}");
@@ -349,9 +344,8 @@ mod tests {
     #[test]
     fn reference_outputs_reduce_per_query() {
         let batch = Batch::from_index_sets([indexset![1, 2], indexset![2]]);
-        let outputs = batch.reference_outputs(crate::reduce::ReduceOp::Sum, |index| {
-            vec![index.value() as f32; 2]
-        });
+        let outputs = batch
+            .reference_outputs(crate::reduce::ReduceOp::Sum, |index| vec![index.value() as f32; 2]);
         assert_eq!(outputs[0].1, Some(vec![3.0, 3.0]));
         assert_eq!(outputs[1].1, Some(vec![2.0, 2.0]));
     }

@@ -167,9 +167,7 @@ impl HeaderCodec {
             return Err(CodecError::Truncated);
         }
         let mut read_set = |count: usize| -> IndexSet {
-            (0..count)
-                .map(|_| VectorIndex(reader.pull(self.bits_per_index) as u32))
-                .collect()
+            (0..count).map(|_| VectorIndex(reader.pull(self.bits_per_index) as u32)).collect()
         };
         let indices = read_set(index_count);
         let queries = entries
@@ -182,10 +180,9 @@ impl HeaderCodec {
     /// Encoded size in bytes of a header (without encoding it).
     #[must_use]
     pub fn encoded_bytes(&self, header: &Header) -> usize {
-        let fields = header.indices.len()
-            + header.queries.iter().map(|p| p.remaining.len()).sum::<usize>();
-        2 + 2 * header.queries.len()
-            + (fields * self.bits_per_index as usize).div_ceil(8)
+        let fields =
+            header.indices.len() + header.queries.iter().map(|p| p.remaining.len()).sum::<usize>();
+        2 + 2 * header.queries.len() + (fields * self.bits_per_index as usize).div_ceil(8)
     }
 }
 
@@ -256,7 +253,7 @@ impl<'a> BitReader<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use proptest::prelude::*;
 
     fn header(indices: &[u32], entries: &[(u32, &[u32])]) -> Header {

@@ -204,8 +204,8 @@ impl CycleTree {
         }
 
         let link_cycles = (self.config.link_transfer_ns() / cycle_ns).ceil() as u64;
-        let reduce_cycles = self.config.pe_timing.reduce_path_cycles()
-            + self.config.pe_timing.merge_cycles;
+        let reduce_cycles =
+            self.config.pe_timing.reduce_path_cycles() + self.config.pe_timing.merge_cycles;
         let interval = self.config.pe_timing.output_interval_cycles.max(1);
 
         let mut stall_cycles = 0u64;
@@ -223,10 +223,7 @@ impl CycleTree {
                         let complete = states[id]
                             .expected
                             .is_some_and(|expected| states[id].received >= expected)
-                            && states[id]
-                                .arrivals
-                                .iter()
-                                .all(|&(arrival, _, _)| arrival <= cycle);
+                            && states[id].arrivals.iter().all(|&(arrival, _, _)| arrival <= cycle);
                         if complete {
                             made_progress = true;
                             let state = &mut states[id];
@@ -238,8 +235,7 @@ impl CycleTree {
                             let (outputs, _) = pe.process(&a, &b);
                             state.occupancy = 0;
                             for (position, item) in outputs.into_iter().enumerate() {
-                                let emit =
-                                    cycle + reduce_cycles + position as u64 * interval;
+                                let emit = cycle + reduce_cycles + position as u64 * interval;
                                 state.pending_out.push((emit, item));
                             }
                         } else {
@@ -259,10 +255,8 @@ impl CycleTree {
                         Some(next_start + pe_index / 2)
                     };
                     // One item per cycle per output port.
-                    let due = states[id]
-                        .pending_out
-                        .first()
-                        .is_some_and(|&(emit, _)| emit <= cycle);
+                    let due =
+                        states[id].pending_out.first().is_some_and(|&(emit, _)| emit <= cycle);
                     if !due {
                         continue;
                     }
@@ -292,9 +286,7 @@ impl CycleTree {
             }
             // Seal expectations: a parent's window is complete when both
             // children fired and drained their queues.
-            for (level_pos, &(level_start, level_count)) in
-                levels.iter().enumerate().skip(1)
-            {
+            for (level_pos, &(level_start, level_count)) in levels.iter().enumerate().skip(1) {
                 let (child_start, _) = levels[level_pos - 1];
                 for pe_index in 0..level_count {
                     let id = level_start + pe_index;
@@ -346,8 +338,7 @@ impl CycleTree {
             }
         }
 
-        let completion_cycle =
-            root_outputs.iter().map(|&(c, _)| c).max().unwrap_or(cycle);
+        let completion_cycle = root_outputs.iter().map(|&(c, _)| c).max().unwrap_or(cycle);
         let outputs = root_outputs
             .into_iter()
             .map(|(c, mut item)| {
@@ -403,11 +394,8 @@ mod tests {
 
     #[test]
     fn matches_event_model_functionally() {
-        let batch = Batch::from_index_sets([
-            indexset![0, 1, 5, 6],
-            indexset![2, 3, 5],
-            indexset![7, 4, 1],
-        ]);
+        let batch =
+            Batch::from_index_sets([indexset![0, 1, 5, 6], indexset![2, 3, 5], indexset![7, 4, 1]]);
         let tree = tree(8);
         let event = tree.run(inputs_for(&batch, 8));
         let cycle = CycleTree::new(&tree, 32).run(inputs_for(&batch, 8)).unwrap();

@@ -1,31 +1,37 @@
 //! The end-to-end FAFNIR engine: host preprocessing → DRAM gather →
 //! reduction tree → host.
 //!
-//! [`FafnirEngine::lookup`] runs one software batch of embedding-lookup
-//! queries through the full pipeline:
+//! [`FafnirEngine`] implements the staged [`GatherEngine`] pipeline; its
+//! [`GatherEngine::lookup`] driver runs one software batch of
+//! embedding-lookup queries through the full pipeline:
 //!
-//! 1. the host extracts unique indices and builds leaf headers (Sec. IV-C);
-//! 2. every unique index becomes one DRAM read simulated by
+//! 1. `preprocess`: the host extracts unique indices and builds leaf
+//!    headers (Sec. IV-C), compiling one [`MemoryPlan`] per hardware batch;
+//! 2. `gather`: every unique index becomes one DRAM read simulated by
 //!    [`fafnir_mem::MemorySystem`] (rank-parallel, row-buffer aware);
-//! 3. read completions inject items into the reduction tree, which applies
-//!    all reductions at NDP while gathering;
-//! 4. the root forwards exactly one vector per query to the host.
+//! 3. `reduce`: read completions inject items into the reduction tree,
+//!    which applies all reductions at NDP while gathering, and the root
+//!    forwards exactly one vector per query to the host.
 //!
 //! Software batches larger than the hardware capacity are served as several
 //! hardware batches back to back (Sec. IV-B); their latencies accumulate.
+//! The tree can be timed by the event-driven model or the cycle-stepped
+//! FIFO model (see [`TreeBackend`]).
 
 use serde::{Deserialize, Serialize};
 
-use fafnir_mem::{MemoryConfig, MemorySystem, Request};
+use fafnir_mem::MemoryConfig;
 
 use crate::batch::Batch;
 use crate::config::FafnirConfig;
+use crate::cycle_sim::CycleTree;
 use crate::error::FafnirError;
 use crate::index::{IndexSet, QueryId, VectorIndex};
 use crate::inject::{build_rank_inputs, GatheredVector};
+use crate::pipeline::{GatherEngine, GatherOutcome, MemoryPlan, PlannedRead};
 use crate::placement::EmbeddingSource;
 use crate::reduce::ReduceOp;
-use crate::tree::{ReductionTree, TreeStats};
+use crate::tree::{ReductionTree, TreeRun, TreeStats};
 
 /// Latency decomposition of a lookup, in nanoseconds.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -103,7 +109,7 @@ impl LookupResult {
 }
 
 /// Result of a pipelined multi-batch stream (see
-/// [`FafnirEngine::lookup_stream`]).
+/// [`GatherEngine::lookup_stream`]).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StreamResult {
     /// Hardware batches executed.
@@ -142,12 +148,33 @@ impl StreamResult {
     }
 }
 
+/// How the reduce stage times the reduction tree.
+///
+/// Both backends produce identical functional outputs; they differ in the
+/// fidelity (and cost) of the timing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TreeBackend {
+    /// Event-driven tree model: per-item ready times, per-PE op counters,
+    /// unbounded buffers (the default).
+    #[default]
+    EventTimed,
+    /// Cycle-stepped FIFO model ([`CycleTree`]): bounded inter-PE FIFOs
+    /// with backpressure. Tree op counters are not tracked by this model
+    /// and read as zero; `max_buffer_items` reports the peak FIFO
+    /// occupancy.
+    CycleStepped {
+        /// Capacity of each inter-PE FIFO, in items (must be non-zero).
+        fifo_capacity: usize,
+    },
+}
+
 /// The FAFNIR accelerator: a reduction tree over a DDR4 memory system.
 #[derive(Debug, Clone)]
 pub struct FafnirEngine {
     config: FafnirConfig,
     mem_config: MemoryConfig,
     tree: ReductionTree,
+    backend: TreeBackend,
 }
 
 impl FafnirEngine {
@@ -162,11 +189,31 @@ impl FafnirEngine {
         // over each rank's own port, not the shared channel bus.
         let mut mem_config = mem_config;
         mem_config.ndp_data_path = true;
-        mem_config
-            .validate()
-            .map_err(FafnirError::InvalidConfig)?;
+        mem_config.validate().map_err(FafnirError::InvalidConfig)?;
         let tree = ReductionTree::new(config, mem_config.topology.total_ranks())?;
-        Ok(Self { config, mem_config, tree })
+        Ok(Self { config, mem_config, tree, backend: TreeBackend::EventTimed })
+    }
+
+    /// Paper-default FAFNIR over the given memory system.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors from [`FafnirEngine::new`].
+    pub fn paper_default(mem_config: MemoryConfig) -> Result<Self, FafnirError> {
+        Self::new(FafnirConfig::paper_default(), mem_config)
+    }
+
+    /// Selects the tree timing backend (see [`TreeBackend`]).
+    #[must_use]
+    pub fn with_backend(mut self, backend: TreeBackend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The active tree timing backend.
+    #[must_use]
+    pub fn backend(&self) -> TreeBackend {
+        self.backend
     }
 
     /// The accelerator configuration.
@@ -187,188 +234,6 @@ impl FafnirEngine {
         &self.tree
     }
 
-    /// Runs a software batch of queries against `source`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`FafnirError::InvalidBatch`] if the batch is empty or the
-    /// source's vector dimension differs from the configuration.
-    pub fn lookup<S: EmbeddingSource>(
-        &self,
-        batch: &Batch,
-        source: &S,
-    ) -> Result<LookupResult, FafnirError> {
-        if batch.is_empty() {
-            return Err(FafnirError::InvalidBatch("batch has no queries".into()));
-        }
-        if source.vector_dim() != self.config.vector_dim {
-            return Err(FafnirError::InvalidBatch(format!(
-                "source vector_dim {} != configured {}",
-                source.vector_dim(),
-                self.config.vector_dim
-            )));
-        }
-        if batch.max_query_len() > self.config.max_query_len {
-            return Err(FafnirError::InvalidBatch(format!(
-                "query of {} indices exceeds the hardware header limit q = {}",
-                batch.max_query_len(),
-                self.config.max_query_len
-            )));
-        }
-
-        let mut result = LookupResult {
-            outputs: Vec::new(),
-            per_query_ns: Vec::new(),
-            latency: LatencyBreakdown::default(),
-            memory: fafnir_mem::MemoryStats::default(),
-            tree: TreeStats::default(),
-            traffic: TrafficStats::default(),
-        };
-        let mut offset_ns = 0.0;
-
-        let hardware_batches = if self.config.arrange_batches {
-            batch.split_for_sharing(self.config.batch_capacity)
-        } else {
-            batch.split(self.config.batch_capacity)
-        };
-        for hardware_batch in hardware_batches {
-            let sub = self.run_hardware_batch(&hardware_batch, source)?;
-            result.outputs.extend(sub.outputs);
-            result
-                .per_query_ns
-                .extend(sub.per_query_ns.iter().map(|&(q, t)| (q, offset_ns + t)));
-            offset_ns += sub.latency.total_ns;
-            result.latency.total_ns += sub.latency.total_ns;
-            result.latency.memory_ns += sub.latency.memory_ns;
-            result.latency.compute_tail_ns += sub.latency.compute_tail_ns;
-            result.memory.merge(&sub.memory);
-            result.tree.ops.merge(&sub.tree.ops);
-            result.tree.levels = sub.tree.levels;
-            result.tree.pes += sub.tree.pes;
-            result.tree.completion_ns = result.latency.total_ns;
-            result.tree.max_buffer_items =
-                result.tree.max_buffer_items.max(sub.tree.max_buffer_items);
-            result.tree.incomplete_outputs += sub.tree.incomplete_outputs;
-            result.traffic.total_references += sub.traffic.total_references;
-            result.traffic.vectors_read += sub.traffic.vectors_read;
-            result.traffic.bytes_from_dram += sub.traffic.bytes_from_dram;
-            result.traffic.bytes_to_host += sub.traffic.bytes_to_host;
-        }
-        result.outputs.sort_by_key(|(query, _)| *query);
-        result.per_query_ns.sort_by_key(|(query, _)| *query);
-        Ok(result)
-    }
-
-    /// Runs one hardware-sized batch.
-    fn run_hardware_batch<S: EmbeddingSource>(
-        &self,
-        batch: &Batch,
-        source: &S,
-    ) -> Result<LookupResult, FafnirError> {
-        // Without dedup every reference is its own read; model that by
-        // rewriting the batch over per-occurrence virtual indices.
-        let (batch, origin): (Batch, Option<Vec<VectorIndex>>) = if self.config.dedup {
-            (batch.clone(), None)
-        } else {
-            let mut originals = Vec::new();
-            let rewritten = batch
-                .queries()
-                .iter()
-                .map(|query| {
-                    IndexSet::from_iter_dedup(query.indices.iter().map(|index| {
-                        let virtual_id = VectorIndex(originals.len() as u32);
-                        originals.push(index);
-                        virtual_id
-                    }))
-                })
-                .collect::<Batch>();
-            (rewritten, Some(originals))
-        };
-        let resolve = |index: VectorIndex| -> VectorIndex {
-            match &origin {
-                Some(map) => map[index.value() as usize],
-                None => index,
-            }
-        };
-
-        // Gather phase: one DRAM read per (unique) index.
-        let mut memory = MemorySystem::new(self.mem_config);
-        let to_read = batch.unique_indices();
-        let vector_bytes = self.config.vector_bytes();
-        let reads: Vec<(VectorIndex, fafnir_mem::RequestId, fafnir_mem::Location)> = to_read
-            .iter()
-            .map(|index| {
-                let location = source.location_of(resolve(index));
-                let addr = self.mem_config.mapping.encode(location, &self.mem_config.topology);
-                let id = memory.submit(Request::read(addr.value(), vector_bytes));
-                (index, id, location)
-            })
-            .collect();
-        memory.run_until_idle();
-        let dram_timing = self.mem_config.timing;
-        let gathered: Vec<GatheredVector> = reads
-            .iter()
-            .map(|(index, id, location)| {
-                let completion = memory.completion(*id).expect("read completed");
-                GatheredVector {
-                    index: *index,
-                    rank: location.global_rank(&self.mem_config.topology),
-                    value: source.value_of(resolve(*index)),
-                    ready_ns: dram_timing.cycles_to_ns(completion.finish_cycle),
-                }
-            })
-            .collect();
-        let memory_ns =
-            gathered.iter().map(|g| g.ready_ns).fold(0.0, f64::max);
-
-        // Tree phase.
-        let ranks = self.mem_config.topology.total_ranks();
-        let inputs = build_rank_inputs(
-            &batch,
-            &gathered,
-            ranks,
-            self.config.ranks_per_leaf,
-            self.config.op,
-            &self.config.pe_timing,
-        );
-        let run = self.tree.run(inputs);
-        let mut outputs = run.query_outputs(self.config.op);
-        if outputs.len() != batch.len() {
-            return Err(FafnirError::InvalidBatch(format!(
-                "{} of {} queries did not complete in the tree",
-                batch.len() - outputs.len(),
-                batch.len()
-            )));
-        }
-        // Root → host link transfer per output.
-        let per_query_ns: Vec<(QueryId, f64)> = run
-            .query_completion_ns()
-            .iter()
-            .map(|&(query, t)| (query, t + self.config.link_transfer_ns()))
-            .collect();
-        let total_ns = per_query_ns.iter().map(|&(_, t)| t).fold(0.0, f64::max);
-        outputs.sort_by_key(|(query, _)| *query);
-
-        let memory_stats = memory.stats();
-        Ok(LookupResult {
-            outputs,
-            per_query_ns,
-            latency: LatencyBreakdown {
-                total_ns,
-                memory_ns,
-                compute_tail_ns: (total_ns - memory_ns).max(0.0),
-            },
-            memory: memory_stats,
-            traffic: TrafficStats {
-                total_references: batch.total_references() as u64,
-                vectors_read: to_read.len() as u64,
-                bytes_from_dram: memory_stats.bytes_transferred,
-                bytes_to_host: (batch.len() * vector_bytes) as u64,
-            },
-            tree: run.stats,
-        })
-    }
-
     /// Interactive (non-batch) lookup: queries are served one at a time,
     /// each as its own hardware batch, and their latencies accumulate.
     ///
@@ -381,7 +246,7 @@ impl FafnirEngine {
     ///
     /// # Errors
     ///
-    /// Same conditions as [`FafnirEngine::lookup`].
+    /// Same conditions as [`GatherEngine::lookup`].
     pub fn lookup_interactive<S: EmbeddingSource>(
         &self,
         batch: &Batch,
@@ -418,123 +283,6 @@ impl FafnirEngine {
         Ok(combined)
     }
 
-    /// Pipelined execution of a stream of batches: all batches' DRAM reads
-    /// share one memory system (and its FR-FCFS queue), so inter-batch
-    /// memory contention is *measured* rather than modelled, while each
-    /// batch's tree pass proceeds as its reads complete — the tree is
-    /// pipelined and batches do not conflict inside it (Sec. IV-A,
-    /// "parallelizing memory accesses & computations").
-    ///
-    /// Every batch's outputs are functionally produced and verified
-    /// retrievable; the result reports measured sustained throughput.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`FafnirError::InvalidBatch`] under the same conditions as
-    /// [`FafnirEngine::lookup`] for any batch in the stream.
-    pub fn lookup_stream<S: EmbeddingSource>(
-        &self,
-        batches: &[Batch],
-        source: &S,
-    ) -> Result<StreamResult, FafnirError> {
-        if batches.is_empty() {
-            return Err(FafnirError::InvalidBatch("stream has no batches".into()));
-        }
-        // Split software batches into hardware batches up front.
-        let mut hardware: Vec<Batch> = Vec::new();
-        for batch in batches {
-            if batch.is_empty() {
-                return Err(FafnirError::InvalidBatch("batch has no queries".into()));
-            }
-            if batch.max_query_len() > self.config.max_query_len {
-                return Err(FafnirError::InvalidBatch(format!(
-                    "query of {} indices exceeds the hardware header limit q = {}",
-                    batch.max_query_len(),
-                    self.config.max_query_len
-                )));
-            }
-            hardware.extend(batch.split(self.config.batch_capacity));
-        }
-
-        // Gather phase: one shared memory system; batch k's reads enqueue
-        // before batch k+1's, so FR-FCFS overlaps them within its window.
-        let mut memory = MemorySystem::new(self.mem_config);
-        let vector_bytes = self.config.vector_bytes();
-        let mut read_plan = Vec::with_capacity(hardware.len());
-        let mut vectors_read = 0u64;
-        for batch in &hardware {
-            let reads: Vec<(VectorIndex, fafnir_mem::RequestId, usize)> = batch
-                .unique_indices()
-                .iter()
-                .map(|index| {
-                    let location = source.location_of(index);
-                    let addr =
-                        self.mem_config.mapping.encode(location, &self.mem_config.topology);
-                    let id = memory.submit(Request::read(addr.value(), vector_bytes));
-                    (index, id, location.global_rank(&self.mem_config.topology))
-                })
-                .collect();
-            vectors_read += reads.len() as u64;
-            read_plan.push(reads);
-        }
-        memory.run_until_idle();
-
-        // Tree phase per batch, fed by the measured completion times.
-        let dram_timing = self.mem_config.timing;
-        let ranks = self.mem_config.topology.total_ranks();
-        let mut per_batch_completion_ns = Vec::with_capacity(hardware.len());
-        let mut total_ns = 0.0f64;
-        let mut queries = 0usize;
-        for (batch, reads) in hardware.iter().zip(&read_plan) {
-            let gathered: Vec<GatheredVector> = reads
-                .iter()
-                .map(|(index, id, rank)| {
-                    let completion = memory.completion(*id).expect("read completed");
-                    GatheredVector {
-                        index: *index,
-                        rank: *rank,
-                        value: source.value_of(*index),
-                        ready_ns: dram_timing.cycles_to_ns(completion.finish_cycle),
-                    }
-                })
-                .collect();
-            let inputs = build_rank_inputs(
-                batch,
-                &gathered,
-                ranks,
-                self.config.ranks_per_leaf,
-                self.config.op,
-                &self.config.pe_timing,
-            );
-            let run = self.tree.run(inputs);
-            let outputs = run.query_outputs(self.config.op);
-            if outputs.len() != batch.len() {
-                return Err(FafnirError::InvalidBatch(format!(
-                    "{} of {} queries did not complete in the tree",
-                    batch.len() - outputs.len(),
-                    batch.len()
-                )));
-            }
-            queries += outputs.len();
-            let completion = run
-                .query_completion_ns()
-                .iter()
-                .map(|(_, t)| *t)
-                .fold(0.0, f64::max)
-                + self.config.link_transfer_ns();
-            total_ns = total_ns.max(completion);
-            per_batch_completion_ns.push(completion);
-        }
-        Ok(StreamResult {
-            batches: hardware.len(),
-            queries,
-            total_ns,
-            per_batch_completion_ns,
-            memory: memory.stats(),
-            vectors_read,
-        })
-    }
-
     /// Number of point-to-point connections in a FAFNIR deployment over `m`
     /// ranks feeding `c` cores: `(2m − 2) + c` (Sec. IV-A), versus the
     /// baseline's all-to-all `c × m`.
@@ -542,6 +290,188 @@ impl FafnirEngine {
     pub fn connection_count(&self, cores: usize) -> usize {
         let m = self.mem_config.topology.total_ranks();
         (2 * m).saturating_sub(2) + cores
+    }
+}
+
+impl GatherEngine for FafnirEngine {
+    type Plan = MemoryPlan;
+
+    fn name(&self) -> &'static str {
+        "fafnir"
+    }
+
+    /// Host preprocessing (Sec. IV-C): validates the batch, splits it into
+    /// hardware batches, applies deduplication (or rewrites the batch over
+    /// per-occurrence virtual indices when dedup is disabled), and resolves
+    /// every unique index to its DRAM location.
+    fn preprocess<S: EmbeddingSource>(
+        &self,
+        batch: &Batch,
+        source: &S,
+    ) -> Result<Vec<MemoryPlan>, FafnirError> {
+        if batch.is_empty() {
+            return Err(FafnirError::InvalidBatch("batch has no queries".into()));
+        }
+        if source.vector_dim() != self.config.vector_dim {
+            return Err(FafnirError::InvalidBatch(format!(
+                "source vector_dim {} != configured {}",
+                source.vector_dim(),
+                self.config.vector_dim
+            )));
+        }
+        if batch.max_query_len() > self.config.max_query_len {
+            return Err(FafnirError::InvalidBatch(format!(
+                "query of {} indices exceeds the hardware header limit q = {}",
+                batch.max_query_len(),
+                self.config.max_query_len
+            )));
+        }
+        let hardware_batches = if self.config.arrange_batches {
+            batch.split_for_sharing(self.config.batch_capacity)
+        } else {
+            batch.split(self.config.batch_capacity)
+        };
+        let vector_bytes = self.config.vector_bytes();
+        let topology = self.mem_config.topology;
+        Ok(hardware_batches
+            .into_iter()
+            .map(|hardware_batch| {
+                // Without dedup every reference is its own read; model that
+                // by rewriting the batch over per-occurrence virtual
+                // indices.
+                let (plan_batch, origin): (Batch, Option<Vec<VectorIndex>>) = if self.config.dedup {
+                    (hardware_batch, None)
+                } else {
+                    let mut originals = Vec::new();
+                    let rewritten = hardware_batch
+                        .queries()
+                        .iter()
+                        .map(|query| {
+                            IndexSet::from_iter_dedup(query.indices.iter().map(|index| {
+                                let virtual_id = VectorIndex(originals.len() as u32);
+                                originals.push(index);
+                                virtual_id
+                            }))
+                        })
+                        .collect::<Batch>();
+                    (rewritten, Some(originals))
+                };
+                let resolve = |index: VectorIndex| -> VectorIndex {
+                    match &origin {
+                        Some(map) => map[index.value() as usize],
+                        None => index,
+                    }
+                };
+                // One DRAM read per (unique) index.
+                let reads: Vec<PlannedRead> = plan_batch
+                    .unique_indices()
+                    .iter()
+                    .map(|index| {
+                        let location = source.location_of(resolve(index));
+                        PlannedRead {
+                            index,
+                            location,
+                            rank: location.global_rank(&topology),
+                            bytes: vector_bytes,
+                        }
+                    })
+                    .collect();
+                MemoryPlan {
+                    batch: plan_batch,
+                    origin,
+                    sim_config: self.mem_config,
+                    reads,
+                    stats_scale: 1,
+                }
+            })
+            .collect())
+    }
+
+    /// Tree phase: injects the gathered vectors into the reduction tree
+    /// (event-timed or cycle-stepped per [`TreeBackend`]) and accounts the
+    /// root → host link transfer per output.
+    fn reduce<S: EmbeddingSource>(
+        &self,
+        plan: &MemoryPlan,
+        gathered: GatherOutcome,
+        source: &S,
+    ) -> Result<LookupResult, FafnirError> {
+        let batch = &plan.batch;
+        let gathered_vectors: Vec<GatheredVector> = gathered
+            .completions
+            .iter()
+            .map(|completion| GatheredVector {
+                index: completion.index,
+                rank: completion.rank,
+                value: source.value_of(plan.resolve(completion.index)),
+                ready_ns: completion.ready_ns,
+            })
+            .collect();
+        let memory_ns = gathered.last_ready_ns();
+
+        let ranks = self.mem_config.topology.total_ranks();
+        let inputs = build_rank_inputs(
+            batch,
+            &gathered_vectors,
+            ranks,
+            self.config.ranks_per_leaf,
+            self.config.op,
+            &self.config.pe_timing,
+        );
+        let run = match self.backend {
+            TreeBackend::EventTimed => self.tree.run(inputs),
+            TreeBackend::CycleStepped { fifo_capacity } => {
+                let cycle = CycleTree::new(&self.tree, fifo_capacity)
+                    .run(inputs)
+                    .map_err(|e| FafnirError::InvalidConfig(e.to_string()))?;
+                TreeRun {
+                    outputs: cycle.outputs,
+                    // The cycle model does not track per-PE op counters;
+                    // they read as zero under this backend.
+                    stats: TreeStats {
+                        levels: self.tree.levels(),
+                        pes: self.tree.pe_count(),
+                        completion_ns: cycle.completion_ns,
+                        max_buffer_items: cycle.max_occupancy as u64,
+                        ..TreeStats::default()
+                    },
+                }
+            }
+        };
+        let mut outputs = run.query_outputs(self.config.op);
+        if outputs.len() != batch.len() {
+            return Err(FafnirError::InvalidBatch(format!(
+                "{} of {} queries did not complete in the tree",
+                batch.len() - outputs.len(),
+                batch.len()
+            )));
+        }
+        // Root → host link transfer per output.
+        let per_query_ns: Vec<(QueryId, f64)> = run
+            .query_completion_ns()
+            .iter()
+            .map(|&(query, t)| (query, t + self.config.link_transfer_ns()))
+            .collect();
+        let total_ns = per_query_ns.iter().map(|&(_, t)| t).fold(0.0, f64::max);
+        outputs.sort_by_key(|(query, _)| *query);
+
+        Ok(LookupResult {
+            outputs,
+            per_query_ns,
+            latency: LatencyBreakdown {
+                total_ns,
+                memory_ns,
+                compute_tail_ns: (total_ns - memory_ns).max(0.0),
+            },
+            memory: gathered.memory,
+            traffic: TrafficStats {
+                total_references: batch.total_references() as u64,
+                vectors_read: plan.reads.len() as u64,
+                bytes_from_dram: gathered.memory.bytes_transferred,
+                bytes_to_host: (batch.len() * self.config.vector_bytes()) as u64,
+            },
+            tree: run.stats,
+        })
     }
 }
 
@@ -574,7 +504,11 @@ mod tests {
         StripedSource::new(MemoryConfig::ddr4_2400_4ch().topology, 128)
     }
 
-    fn assert_outputs_match_reference(batch: &Batch, result: &LookupResult, source: &StripedSource) {
+    fn assert_outputs_match_reference(
+        batch: &Batch,
+        result: &LookupResult,
+        source: &StripedSource,
+    ) {
         let reference = reference_lookup(batch, source, ReduceOp::Sum);
         assert_eq!(result.outputs.len(), reference.len());
         for ((qa, got), (qb, expected)) in result.outputs.iter().zip(&reference) {
@@ -657,14 +591,10 @@ mod tests {
             indexset![1, 2, 4],
             indexset![10, 11, 13],
         ]);
-        let base_config =
-            FafnirConfig { batch_capacity: 2, ..FafnirConfig::paper_default() };
+        let base_config = FafnirConfig { batch_capacity: 2, ..FafnirConfig::paper_default() };
         let naive = FafnirEngine::new(base_config, mem).unwrap();
-        let arranged = FafnirEngine::new(
-            FafnirConfig { arrange_batches: true, ..base_config },
-            mem,
-        )
-        .unwrap();
+        let arranged =
+            FafnirEngine::new(FafnirConfig { arrange_batches: true, ..base_config }, mem).unwrap();
         let naive_result = naive.lookup(&batch, &source).unwrap();
         let arranged_result = arranged.lookup(&batch, &source).unwrap();
         assert!(
@@ -682,11 +612,7 @@ mod tests {
         config.batch_capacity = 2;
         let engine = FafnirEngine::new(config, MemoryConfig::ddr4_2400_4ch()).unwrap();
         let source = source();
-        let batch = Batch::from_index_sets([
-            indexset![1, 2],
-            indexset![3, 4],
-            indexset![5, 6],
-        ]);
+        let batch = Batch::from_index_sets([indexset![1, 2], indexset![3, 4], indexset![5, 6]]);
         let result = engine.lookup(&batch, &source).unwrap();
         assert_eq!(result.outputs.len(), 3);
         assert_outputs_match_reference(&batch, &result, &source);
@@ -696,10 +622,7 @@ mod tests {
     fn empty_batch_is_rejected() {
         let engine = engine();
         let source = source();
-        assert!(matches!(
-            engine.lookup(&Batch::new(), &source),
-            Err(FafnirError::InvalidBatch(_))
-        ));
+        assert!(matches!(engine.lookup(&Batch::new(), &source), Err(FafnirError::InvalidBatch(_))));
     }
 
     #[test]
@@ -724,10 +647,7 @@ mod tests {
     fn data_movement_to_host_is_n_times_v() {
         let engine = engine();
         let source = source();
-        let batch = Batch::from_index_sets([
-            indexset![1, 2, 5, 6],
-            indexset![3, 4, 5],
-        ]);
+        let batch = Batch::from_index_sets([indexset![1, 2, 5, 6], indexset![3, 4, 5]]);
         let result = engine.lookup(&batch, &source).unwrap();
         // The paper's guarantee: only n output vectors cross to the host.
         assert_eq!(result.traffic.bytes_to_host, 2 * 512);

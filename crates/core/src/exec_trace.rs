@@ -97,17 +97,12 @@ impl ExecutionTrace {
     #[must_use]
     pub fn render_waterfall(&self, width: usize) -> String {
         let width = width.max(10);
-        let end = self
-            .firings
-            .iter()
-            .map(|f| f.last_output_ns)
-            .fold(0.0f64, f64::max)
-            .max(1e-9);
+        let end = self.firings.iter().map(|f| f.last_output_ns).fold(0.0f64, f64::max).max(1e-9);
         let mut out = format!("time axis: 0 .. {end:.0} ns ({width} cols)\n");
         for firing in &self.firings {
             let start_col = ((firing.first_input_ns / end) * width as f64) as usize;
-            let end_col =
-                (((firing.last_output_ns / end) * width as f64) as usize).clamp(start_col + 1, width);
+            let end_col = (((firing.last_output_ns / end) * width as f64) as usize)
+                .clamp(start_col + 1, width);
             let mut bar = String::with_capacity(width);
             for col in 0..width {
                 bar.push(if (start_col..end_col).contains(&col) { '#' } else { '.' });
@@ -132,7 +127,7 @@ mod tests {
     use super::*;
     use crate::batch::Batch;
     use crate::config::FafnirConfig;
-    
+
     use crate::indexset;
     use crate::inject::{build_rank_inputs, GatheredVector};
     use crate::reduce::ReduceOp;

@@ -84,10 +84,7 @@ pub fn build_rank_inputs(
                 ready = ready.max(vector.ready_ns) + timing.reduce_latency_ns();
             }
             let item = Item {
-                header: Header {
-                    indices,
-                    queries: vec![PendingQuery::new(query.id, remaining)],
-                },
+                header: Header { indices, queries: vec![PendingQuery::new(query.id, remaining)] },
                 value,
                 ready_ns: ready,
             };
@@ -100,10 +97,8 @@ pub fn build_rank_inputs(
     // covered by a pre-reduced group.
     for (index, pending) in batch.leaf_headers() {
         let Some(vector) = lookup(index) else { continue };
-        let queries: Vec<PendingQuery> = pending
-            .into_iter()
-            .filter(|p| !covered.contains(&(p.query, index)))
-            .collect();
+        let queries: Vec<PendingQuery> =
+            pending.into_iter().filter(|p| !covered.contains(&(p.query, index))).collect();
         if queries.is_empty() {
             continue;
         }
@@ -205,9 +200,7 @@ mod tests {
     #[test]
     fn every_query_has_at_most_one_item_per_side() {
         // Adversarial batch with heavy co-location on 4 ranks.
-        let sets: Vec<_> = (0..12u32)
-            .map(|i| indexset![i, i + 4, i + 8, (i * 7) % 16])
-            .collect();
+        let sets: Vec<_> = (0..12u32).map(|i| indexset![i, i + 4, i + 8, (i * 7) % 16]).collect();
         let batch = Batch::from_index_sets(sets);
         let all: Vec<u32> = batch.unique_indices().iter().map(|v| v.value()).collect();
         let gathered = gather(&all, 4);

@@ -68,8 +68,8 @@ impl Header {
     /// 5-bit fields (16 × 5 bits ≈ 10 B, Sec. IV-B).
     #[must_use]
     pub fn encoded_bits(&self, bits_per_index: u32) -> usize {
-        let index_fields = self.indices.len()
-            + self.queries.iter().map(|p| p.remaining.len()).sum::<usize>();
+        let index_fields =
+            self.indices.len() + self.queries.iter().map(|p| p.remaining.len()).sum::<usize>();
         index_fields * bits_per_index as usize
     }
 

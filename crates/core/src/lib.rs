@@ -30,6 +30,7 @@
 //!     indexset![1, 2, 5, 6],   // query 1 (Fig. 1 of the paper)
 //!     indexset![3, 4, 5],      // query 2
 //! ]);
+//! use fafnir_core::GatherEngine; // preprocess → gather → reduce stages
 //! let result = engine.lookup(&batch, &source)?;
 //! assert_eq!(result.outputs.len(), 2);
 //! println!("lookup took {:.1} ns", result.latency.total_ns);
@@ -48,6 +49,9 @@
 //! * [`exec_trace`] — per-PE firing traces with a waterfall renderer.
 //! * [`cycle_sim`] — cycle-stepped simulation with finite FIFOs and
 //!   backpressure, validating Table I's sizing dynamically.
+//! * [`pipeline`] — the staged [`GatherEngine`] trait (preprocess → gather
+//!   → reduce), the `lookup`/`lookup_stream` drivers, and the
+//!   [`ParallelBatchDriver`] multi-batch executor.
 //! * [`placement`], [`engine`] — vector placement and the end-to-end engine.
 //! * [`model`] — buffer sizing, connections, ASIC/FPGA area & power models.
 //! * [`verify`] — one-call differential self-verification for configuration
@@ -68,6 +72,7 @@ pub mod inject;
 pub mod item;
 pub mod model;
 pub mod pe;
+pub mod pipeline;
 pub mod placement;
 pub mod reduce;
 pub mod timing;
@@ -76,11 +81,17 @@ pub mod verify;
 
 pub use batch::{Batch, Query};
 pub use config::FafnirConfig;
-pub use engine::{FafnirEngine, LatencyBreakdown, LookupResult, StreamResult, TrafficStats};
+pub use engine::{
+    FafnirEngine, LatencyBreakdown, LookupResult, StreamResult, TrafficStats, TreeBackend,
+};
 pub use error::FafnirError;
 pub use index::{IndexSet, QueryId, VectorIndex};
 pub use item::{Header, Item, PendingQuery};
 pub use pe::{PeOpCounts, ProcessingElement};
+pub use pipeline::{
+    GatherEngine, GatherOutcome, MemoryPlan, ParallelBatchDriver, ParallelStreamResult,
+    PlannedRead, ReadCompletion,
+};
 pub use placement::{EmbeddingSource, StripedSource};
 pub use reduce::ReduceOp;
 pub use timing::PeTiming;

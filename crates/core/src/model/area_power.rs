@@ -37,8 +37,8 @@ impl AsicModel {
     #[must_use]
     pub fn asap7() -> Self {
         Self {
-            pe_chip_area_mm2: 0.0773,          // 274 µm × 282 µm
-            dimm_rank_node_area_mm2: 0.283,    // 492 µm × 575 µm
+            pe_chip_area_mm2: 0.0773,       // 274 µm × 282 µm
+            dimm_rank_node_area_mm2: 0.283, // 492 µm × 575 µm
             channel_node_area_mm2: 0.121,
             pe_power_mw: 3.2,
             dimm_node_glue_mw: 1.42,
@@ -175,7 +175,9 @@ mod tests {
         let breakdown = PePowerBreakdown::paper();
         assert!((breakdown.total() - 1.0).abs() < 1e-9);
         // "Uniform" per the paper: no component above 40 %.
-        for share in [breakdown.buffers, breakdown.compute, breakdown.merge, breakdown.clock_control] {
+        for share in
+            [breakdown.buffers, breakdown.compute, breakdown.merge, breakdown.clock_control]
+        {
             assert!(share < 0.4);
         }
     }

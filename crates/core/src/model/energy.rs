@@ -91,11 +91,8 @@ mod tests {
         // each.
         let model = TreeEnergyModel::asap7();
         let tree = model.tree_energy_nj(&ops(2_000, 500, 1_500, 400));
-        let dram_stats = fafnir_mem::MemoryStats {
-            reads: 2_000,
-            activations: 250,
-            ..Default::default()
-        };
+        let dram_stats =
+            fafnir_mem::MemoryStats { reads: 2_000, activations: 250, ..Default::default() };
         let dram = fafnir_mem::EnergyModel::ddr4().dynamic_nj(&dram_stats);
         assert!(dram > 10.0 * tree, "dram {dram} nJ vs tree {tree} nJ");
     }

@@ -78,10 +78,8 @@ impl ProcessingElement {
     /// (the tree) applies output-port serialization.
     #[must_use]
     pub fn process(&self, a: &[Item], b: &[Item]) -> (Vec<Item>, PeOpCounts) {
-        let mut counts = PeOpCounts {
-            max_input_items: a.len().max(b.len()) as u64,
-            ..PeOpCounts::default()
-        };
+        let mut counts =
+            PeOpCounts { max_input_items: a.len().max(b.len()) as u64, ..PeOpCounts::default() };
         let mut raw: Vec<Item> = Vec::new();
         self.scan_side(a, b, &mut raw, &mut counts);
         self.scan_side(b, a, &mut raw, &mut counts);
@@ -134,10 +132,7 @@ impl ProcessingElement {
         let value = self.op.combine(&x.value, &y.value);
         let ready = x.ready_ns.max(y.ready_ns) + self.timing.reduce_latency_ns();
         Item {
-            header: Header {
-                indices,
-                queries: vec![PendingQuery::new(query, remaining)],
-            },
+            header: Header { indices, queries: vec![PendingQuery::new(query, remaining)] },
             value,
             ready_ns: ready,
         }
@@ -146,10 +141,7 @@ impl ProcessingElement {
     /// Passes an item through for one unmatched query entry.
     fn forward_item(&self, item: &Item, pending: &PendingQuery) -> Item {
         Item {
-            header: Header {
-                indices: item.header.indices.clone(),
-                queries: vec![pending.clone()],
-            },
+            header: Header { indices: item.header.indices.clone(), queries: vec![pending.clone()] },
             value: item.value.clone(),
             ready_ns: item.ready_ns + self.timing.forward_latency_ns(),
         }
@@ -193,7 +185,8 @@ impl ProcessingElement {
 
 /// Bitwise equality with NaN tolerance, for merge-unit assertions.
 fn values_equal(a: &[f32], b: &[f32]) -> bool {
-    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= f32::EPSILON * x.abs().max(1.0) * 16.0)
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= f32::EPSILON * x.abs().max(1.0) * 16.0)
 }
 
 #[cfg(test)]
@@ -207,10 +200,7 @@ mod tests {
         let queries = entries
             .iter()
             .map(|(q, remaining)| {
-                PendingQuery::new(
-                    QueryId(*q),
-                    remaining.iter().copied().map(VectorIndex).collect(),
-                )
+                PendingQuery::new(QueryId(*q), remaining.iter().copied().map(VectorIndex).collect())
             })
             .collect();
         Item::new(Header::leaf(VectorIndex(index), queries), vec![fill; 4])
@@ -317,9 +307,8 @@ mod tests {
         let b = leaf(2, 1.0, &[(0, &[1])]).ready_at(50.0);
         let (out, _) = pe().process(&[a], &[b]);
         let timing = PeTiming::default();
-        let expected = 100.0
-            + timing.reduce_latency_ns()
-            + timing.merge_cycles as f64 * timing.cycle_ns();
+        let expected =
+            100.0 + timing.reduce_latency_ns() + timing.merge_cycles as f64 * timing.cycle_ns();
         assert!((out[0].ready_ns - expected).abs() < 1e-9, "{} vs {expected}", out[0].ready_ns);
     }
 

@@ -104,7 +104,9 @@ mod tests {
 
     #[test]
     fn asic_is_faster_than_fpga() {
-        assert!(PeTiming::asic_1ghz().reduce_latency_ns() < PeTiming::fpga_200mhz().reduce_latency_ns());
+        assert!(
+            PeTiming::asic_1ghz().reduce_latency_ns() < PeTiming::fpga_200mhz().reduce_latency_ns()
+        );
     }
 
     #[test]

@@ -215,8 +215,7 @@ impl ReductionTree {
         }
 
         let outputs = level.pop().unwrap_or_default();
-        stats.completion_ns =
-            outputs.iter().map(|item| item.ready_ns).fold(0.0, f64::max);
+        stats.completion_ns = outputs.iter().map(|item| item.ready_ns).fold(0.0, f64::max);
         stats.incomplete_outputs = outputs
             .iter()
             .filter(|item| item.header.queries.iter().any(|p| !p.is_complete()))
@@ -236,11 +235,8 @@ impl ReductionTree {
         index: usize,
         trace: Option<&mut crate::exec_trace::ExecutionTrace>,
     ) -> Vec<Item> {
-        let first_input_ns = a
-            .iter()
-            .chain(&b)
-            .map(|item| item.ready_ns)
-            .fold(f64::INFINITY, f64::min);
+        let first_input_ns =
+            a.iter().chain(&b).map(|item| item.ready_ns).fold(f64::INFINITY, f64::min);
         let (mut out, counts) = pe.process(&a, &b);
         stats.ops.merge(&counts);
         stats.pes += 1;
@@ -401,8 +397,7 @@ mod tests {
         let tree = tree(4);
         let mut inputs = vec![Vec::new(); 4];
         let headers = batch.leaf_headers();
-        let (index, pending) =
-            headers.into_iter().find(|(i, _)| *i == VectorIndex(0)).unwrap();
+        let (index, pending) = headers.into_iter().find(|(i, _)| *i == VectorIndex(0)).unwrap();
         inputs[0].push(Item::new(Header::leaf(index, pending), vec![0.0; 4]));
         let run = tree.run(inputs);
         assert_eq!(run.stats.incomplete_outputs, 1);
@@ -427,11 +422,8 @@ mod tests {
 
     #[test]
     fn one_pe_to_one_rank_ratio_works() {
-        let config = FafnirConfig {
-            ranks_per_leaf: 1,
-            vector_dim: 4,
-            ..FafnirConfig::paper_default()
-        };
+        let config =
+            FafnirConfig { ranks_per_leaf: 1, vector_dim: 4, ..FafnirConfig::paper_default() };
         let tree = ReductionTree::new(config, 8).unwrap();
         assert_eq!(tree.pe_count(), 15);
         let batch = Batch::from_index_sets([indexset![0, 1, 6, 7]]);
@@ -442,11 +434,8 @@ mod tests {
 
     #[test]
     fn one_pe_to_four_ranks_ratio_works() {
-        let config = FafnirConfig {
-            ranks_per_leaf: 4,
-            vector_dim: 4,
-            ..FafnirConfig::paper_default()
-        };
+        let config =
+            FafnirConfig { ranks_per_leaf: 4, vector_dim: 4, ..FafnirConfig::paper_default() };
         let tree = ReductionTree::new(config, 16).unwrap();
         assert_eq!(tree.pe_count(), 7);
         let batch = Batch::from_index_sets([indexset![0, 5, 10, 15]]);
@@ -459,9 +448,7 @@ mod tests {
     fn buffer_occupancy_respects_batch_bound() {
         // Sixteen queries sharing hot indices: no PE buffer may exceed the
         // query count (Table I invariant).
-        let sets: Vec<_> = (0..16u32)
-            .map(|i| indexset![i % 8, (i + 3) % 8, 16 + i % 4])
-            .collect();
+        let sets: Vec<_> = (0..16u32).map(|i| indexset![i % 8, (i + 3) % 8, 16 + i % 4]).collect();
         let batch = Batch::from_index_sets(sets);
         let tree = tree(8);
         let run = tree.run(rank_inputs(&batch, 8, 4));

@@ -11,6 +11,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::batch::Batch;
 use crate::engine::{reference_lookup, FafnirEngine};
+use crate::pipeline::GatherEngine;
 use crate::placement::EmbeddingSource;
 
 /// One discrepancy found during verification.
@@ -128,9 +129,7 @@ pub fn verify_engine<S: EmbeddingSource>(
         {
             fail(index, "dedup read more than the per-hardware-batch unique counts".into());
         }
-        if result.traffic.bytes_to_host
-            != (batch.len() * engine.config().vector_bytes()) as u64
-        {
+        if result.traffic.bytes_to_host != (batch.len() * engine.config().vector_bytes()) as u64 {
             fail(index, format!("host traffic {} != n x v", result.traffic.bytes_to_host));
         }
         if result.tree.incomplete_outputs != 0 {
@@ -199,9 +198,7 @@ mod tests {
         let mem = MemoryConfig::ddr4_2400_4ch();
         let engine = FafnirEngine::new(FafnirConfig::paper_default(), mem).unwrap();
         let source = StripedSource::new(mem.topology, 128);
-        let long = Batch::from_index_sets([IndexSet::from_iter_dedup(
-            (0..20).map(VectorIndex),
-        )]);
+        let long = Batch::from_index_sets([IndexSet::from_iter_dedup((0..20).map(VectorIndex))]);
         let report = verify_engine(&engine, &source, &[long]);
         assert!(!report.passed());
         assert!(report.summary().contains("lookup failed"));

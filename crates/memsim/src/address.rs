@@ -10,7 +10,9 @@ use serde::{Deserialize, Serialize};
 use crate::config::Topology;
 
 /// A byte address in the simulated physical address space.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct PhysAddr(pub u64);
 
 impl PhysAddr {
@@ -217,9 +219,8 @@ mod tests {
     fn channel_interleaved_rotates_channels() {
         let topology = topo();
         let mapping = AddressMapping::ChannelInterleaved;
-        let channels: Vec<usize> = (0..4)
-            .map(|burst| mapping.decode(PhysAddr(burst * 64), &topology).channel)
-            .collect();
+        let channels: Vec<usize> =
+            (0..4).map(|burst| mapping.decode(PhysAddr(burst * 64), &topology).channel).collect();
         assert_eq!(channels, vec![0, 1, 2, 3]);
     }
 

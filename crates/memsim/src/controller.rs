@@ -106,9 +106,8 @@ impl ChannelController {
     /// injection).
     #[must_use]
     pub fn with_channel(config: MemoryConfig, channel: usize) -> Self {
-        let ranks: Vec<Rank> = (0..config.topology.ranks_per_channel())
-            .map(|_| Rank::new(&config.topology))
-            .collect();
+        let ranks: Vec<Rank> =
+            (0..config.topology.ranks_per_channel()).map(|_| Rank::new(&config.topology)).collect();
         let bus_count = if config.ndp_data_path { ranks.len() } else { 1 };
         let rank_count = ranks.len();
         // Stagger refreshes so ranks do not all block at once.
@@ -314,11 +313,7 @@ impl ChannelController {
     /// Under strict FCFS only the oldest arrived burst may issue.
     fn fcfs_blocks(&self, pos: usize, now: Cycle) -> bool {
         self.config.scheduler == SchedulerPolicy::Fcfs
-            && self
-                .queue
-                .iter()
-                .take(pos)
-                .any(|(older, _)| older.arrival <= now)
+            && self.queue.iter().take(pos).any(|(older, _)| older.arrival <= now)
     }
 
     /// Attempts to issue a RD/WR for the oldest ready row-hit burst.
@@ -624,8 +619,14 @@ mod tests {
             now += 1;
         }
         // Older burst conflicts (row 2, bank 0); younger hits (row 1).
-        ctrl.enqueue(BurstJob { arrival: now, ..job(1, Location { row: 2, ..bank0 }, AccessKind::Read) });
-        ctrl.enqueue(BurstJob { arrival: now, ..job(2, Location { row: 1, column: 7, ..bank0 }, AccessKind::Read) });
+        ctrl.enqueue(BurstJob {
+            arrival: now,
+            ..job(1, Location { row: 2, ..bank0 }, AccessKind::Read)
+        });
+        ctrl.enqueue(BurstJob {
+            arrival: now,
+            ..job(2, Location { row: 1, column: 7, ..bank0 }, AccessKind::Read)
+        });
         let results = run_to_idle(&mut ctrl);
         let order: Vec<u64> = results.iter().map(|r| r.id.0).collect();
         assert_eq!(order, vec![2, 1], "row hit should bypass older conflict");
@@ -652,7 +653,10 @@ mod tests {
         // Immediately after: row still open (within timeout).
         let t = config.timing;
         let mut out = Vec::new();
-        ctrl.enqueue(BurstJob { arrival: 60, ..job(1, Location { column: 1, ..loc }, AccessKind::Read) });
+        ctrl.enqueue(BurstJob {
+            arrival: 60,
+            ..job(1, Location { column: 1, ..loc }, AccessKind::Read)
+        });
         let mut now = 60;
         while !ctrl.is_idle() {
             ctrl.tick(now, &mut out);
@@ -665,7 +669,10 @@ mod tests {
             ctrl.tick(now + idle, &mut out);
         }
         let late = now + t.tRAS + 400;
-        ctrl.enqueue(BurstJob { arrival: late, ..job(2, Location { column: 2, ..loc }, AccessKind::Read) });
+        ctrl.enqueue(BurstJob {
+            arrival: late,
+            ..job(2, Location { column: 2, ..loc }, AccessKind::Read)
+        });
         let mut results = Vec::new();
         let mut cycle = late;
         while !ctrl.is_idle() {
@@ -691,8 +698,14 @@ mod tests {
         }
         // Older conflicting burst, younger row hit: FCFS must serve the
         // conflict first (contrast with the FR-FCFS test above).
-        ctrl.enqueue(BurstJob { arrival: now, ..job(1, Location { row: 2, ..bank0 }, AccessKind::Read) });
-        ctrl.enqueue(BurstJob { arrival: now, ..job(2, Location { row: 1, column: 7, ..bank0 }, AccessKind::Read) });
+        ctrl.enqueue(BurstJob {
+            arrival: now,
+            ..job(1, Location { row: 2, ..bank0 }, AccessKind::Read)
+        });
+        ctrl.enqueue(BurstJob {
+            arrival: now,
+            ..job(2, Location { row: 1, column: 7, ..bank0 }, AccessKind::Read)
+        });
         let results = run_to_idle(&mut ctrl);
         let order: Vec<u64> = results.iter().map(|r| r.id.0).collect();
         assert_eq!(order, vec![1, 2], "FCFS preserves age order");

@@ -4,8 +4,8 @@
 use std::collections::HashMap;
 
 use crate::address::Location;
-use crate::controller::{BurstJob, ChannelController};
 use crate::config::MemoryConfig;
+use crate::controller::{BurstJob, ChannelController};
 use crate::request::{Completion, Request, RequestId};
 use crate::stats::MemoryStats;
 use crate::Cycle;
@@ -124,7 +124,12 @@ impl MemorySystem {
 
     /// Convenience: submits a read of `bytes` at the explicit device
     /// `location` (encoded through the configured mapping).
-    pub fn submit_read_at(&mut self, location: Location, bytes: usize, arrival: Cycle) -> RequestId {
+    pub fn submit_read_at(
+        &mut self,
+        location: Location,
+        bytes: usize,
+        arrival: Cycle,
+    ) -> RequestId {
         let addr = self.config.mapping.encode(location, &self.config.topology);
         self.submit(Request::read(addr.0, bytes).at(arrival))
     }
@@ -385,11 +390,8 @@ mod tests {
         config.ndp_data_path = true; // per-rank ports: reads are independent
         let mut mem = MemorySystem::new(config);
         let slow = mem.submit_read_at(crate::Location { row: 1, ..Default::default() }, 64, 0);
-        let fast = mem.submit_read_at(
-            crate::Location { rank: 1, row: 1, ..Default::default() },
-            64,
-            0,
-        );
+        let fast =
+            mem.submit_read_at(crate::Location { rank: 1, row: 1, ..Default::default() }, 64, 0);
         mem.run_until_idle();
         let slow_done = mem.completion(slow).unwrap().finish_cycle;
         let fast_done = mem.completion(fast).unwrap().finish_cycle;

@@ -103,7 +103,11 @@ impl std::fmt::Display for TimingViolation {
 /// ordering (no column to a closed/mismatched row), and tRFC (rank blocked
 /// after REF).
 #[must_use]
-pub fn verify_log(log: &CommandLog, timing: &Timing, banks_per_group: usize) -> Vec<TimingViolation> {
+pub fn verify_log(
+    log: &CommandLog,
+    timing: &Timing,
+    banks_per_group: usize,
+) -> Vec<TimingViolation> {
     let mut violations = Vec::new();
     let records = log.records();
 
@@ -139,23 +143,39 @@ pub fn verify_log(log: &CommandLog, timing: &Timing, banks_per_group: usize) -> 
         if record.kind != CommandKind::Ref {
             if let Some(&ref_at) = rank_ref.get(&record.rank) {
                 if record.cycle < ref_at + timing.tRFC {
-                    violations.push(violation("tRFC", index, format!("command at {} inside refresh from {ref_at}", record.cycle)));
+                    violations.push(violation(
+                        "tRFC",
+                        index,
+                        format!("command at {} inside refresh from {ref_at}", record.cycle),
+                    ));
                 }
             }
         }
         match record.kind {
             CommandKind::Act => {
                 if state.open_row.is_some() {
-                    violations.push(violation("ordering", index, "ACT on a bank with an open row".into()));
+                    violations.push(violation(
+                        "ordering",
+                        index,
+                        "ACT on a bank with an open row".into(),
+                    ));
                 }
                 if let Some(last) = state.last_act {
                     if record.cycle < last + timing.tRC {
-                        violations.push(violation("tRC", index, format!("{} < {} + {}", record.cycle, last, timing.tRC)));
+                        violations.push(violation(
+                            "tRC",
+                            index,
+                            format!("{} < {} + {}", record.cycle, last, timing.tRC),
+                        ));
                     }
                 }
                 if let Some(last) = state.last_pre {
                     if record.cycle < last + timing.tRP {
-                        violations.push(violation("tRP", index, format!("{} < {} + {}", record.cycle, last, timing.tRP)));
+                        violations.push(violation(
+                            "tRP",
+                            index,
+                            format!("{} < {} + {}", record.cycle, last, timing.tRP),
+                        ));
                     }
                 }
                 let acts = rank_acts.entry(record.rank).or_default();
@@ -166,13 +186,21 @@ pub fn verify_log(log: &CommandLog, timing: &Timing, banks_per_group: usize) -> 
                         timing.tRRD_S
                     };
                     if record.cycle < last + gap {
-                        violations.push(violation("tRRD", index, format!("{} < {} + {gap}", record.cycle, last)));
+                        violations.push(violation(
+                            "tRRD",
+                            index,
+                            format!("{} < {} + {gap}", record.cycle, last),
+                        ));
                     }
                 }
                 if acts.len() >= 4 {
                     let oldest = acts[acts.len() - 4].0;
                     if record.cycle < oldest + timing.tFAW {
-                        violations.push(violation("tFAW", index, format!("{} < {} + {}", record.cycle, oldest, timing.tFAW)));
+                        violations.push(violation(
+                            "tFAW",
+                            index,
+                            format!("{} < {} + {}", record.cycle, oldest, timing.tFAW),
+                        ));
                     }
                 }
                 acts.push((record.cycle, record.bank));
@@ -182,18 +210,30 @@ pub fn verify_log(log: &CommandLog, timing: &Timing, banks_per_group: usize) -> 
             CommandKind::Pre => {
                 if let Some(last) = state.last_act {
                     if record.cycle < last + timing.tRAS {
-                        violations.push(violation("tRAS", index, format!("{} < {} + {}", record.cycle, last, timing.tRAS)));
+                        violations.push(violation(
+                            "tRAS",
+                            index,
+                            format!("{} < {} + {}", record.cycle, last, timing.tRAS),
+                        ));
                     }
                 }
                 if let Some(last) = state.last_rd {
                     if record.cycle < last + timing.tRTP {
-                        violations.push(violation("tRTP", index, format!("{} < {} + {}", record.cycle, last, timing.tRTP)));
+                        violations.push(violation(
+                            "tRTP",
+                            index,
+                            format!("{} < {} + {}", record.cycle, last, timing.tRTP),
+                        ));
                     }
                 }
                 if let Some(last) = state.last_wr {
                     let earliest = last + timing.tCWL + timing.tBL + timing.tWR;
                     if record.cycle < earliest {
-                        violations.push(violation("tWR", index, format!("{} < {earliest}", record.cycle)));
+                        violations.push(violation(
+                            "tWR",
+                            index,
+                            format!("{} < {earliest}", record.cycle),
+                        ));
                     }
                 }
                 state.open_row = None;
@@ -201,11 +241,19 @@ pub fn verify_log(log: &CommandLog, timing: &Timing, banks_per_group: usize) -> 
             }
             CommandKind::Rd | CommandKind::Wr => {
                 if state.open_row.is_none() {
-                    violations.push(violation("ordering", index, "column command to a closed bank".into()));
+                    violations.push(violation(
+                        "ordering",
+                        index,
+                        "column command to a closed bank".into(),
+                    ));
                 }
                 if let Some(last) = state.last_act {
                     if record.cycle < last + timing.tRCD {
-                        violations.push(violation("tRCD", index, format!("{} < {} + {}", record.cycle, last, timing.tRCD)));
+                        violations.push(violation(
+                            "tRCD",
+                            index,
+                            format!("{} < {} + {}", record.cycle, last, timing.tRCD),
+                        ));
                     }
                 }
                 if let Some(&(last, bank)) = rank_cols.get(&record.rank) {
@@ -215,7 +263,11 @@ pub fn verify_log(log: &CommandLog, timing: &Timing, banks_per_group: usize) -> 
                         timing.tCCD_S
                     };
                     if record.cycle < last + gap {
-                        violations.push(violation("tCCD", index, format!("{} < {} + {gap}", record.cycle, last)));
+                        violations.push(violation(
+                            "tCCD",
+                            index,
+                            format!("{} < {} + {gap}", record.cycle, last),
+                        ));
                     }
                 }
                 rank_cols.insert(record.rank, (record.cycle, record.bank));
@@ -325,11 +377,8 @@ mod tests {
 
     #[test]
     fn display_names_the_parameter() {
-        let violation = TimingViolation {
-            parameter: "tRCD",
-            record_index: 3,
-            detail: "early".into(),
-        };
+        let violation =
+            TimingViolation { parameter: "tRCD", record_index: 3, detail: "early".into() };
         assert_eq!(violation.to_string(), "tRCD violated at record 3: early");
     }
 }

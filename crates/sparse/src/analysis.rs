@@ -66,9 +66,7 @@ impl MatrixProfile {
                 row == col
                     || matrix
                         .entries()
-                        .binary_search_by(|probe| {
-                            (probe.0, probe.1).cmp(&(col, row))
-                        })
+                        .binary_search_by(|probe| (probe.0, probe.1).cmp(&(col, row)))
                         .map(|pos| (matrix.entries()[pos].2 - value).abs() < 1e-12)
                         .unwrap_or(false)
             })
@@ -115,11 +113,8 @@ fn gini(values: &[usize]) -> f64 {
     let mut sorted: Vec<usize> = values.to_vec();
     sorted.sort_unstable();
     let n = sorted.len() as f64;
-    let weighted: f64 = sorted
-        .iter()
-        .enumerate()
-        .map(|(rank, &value)| (rank as f64 + 1.0) * value as f64)
-        .sum();
+    let weighted: f64 =
+        sorted.iter().enumerate().map(|(rank, &value)| (rank as f64 + 1.0) * value as f64).sum();
     (2.0 * weighted) / (n * total as f64) - (n + 1.0) / n
 }
 
@@ -180,8 +175,11 @@ mod tests {
         // merge iterations. Profile + merge share together explain the
         // suite's ordering.
         let timing = crate::SpmvTiming::paper();
-        let suite =
-            [gen::banded(2_048, 4, 45), gen::rmat(11, 120_000, 46), gen::uniform(512, 512, 0.01, 47)];
+        let suite = [
+            gen::banded(2_048, 4, 45),
+            gen::rmat(11, 120_000, 46),
+            gen::uniform(512, 512, 0.01, 47),
+        ];
         let mut measured: Vec<(f64, f64)> = Vec::new(); // (merge share, speedup)
         for coo in &suite {
             let lil = crate::lil::LilMatrix::from(coo);

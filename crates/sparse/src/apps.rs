@@ -168,11 +168,8 @@ pub fn pagerank(
         calls += 1;
         // Rank parked on dangling nodes is redistributed uniformly so the
         // vector stays a probability distribution.
-        let dangling_mass: f64 = rank
-            .iter()
-            .zip(&dangling)
-            .filter_map(|(r, &d)| d.then_some(*r))
-            .sum();
+        let dangling_mass: f64 =
+            rank.iter().zip(&dangling).filter_map(|(r, &d)| d.then_some(*r)).sum();
         let spread = damping * dangling_mass / n as f64;
         let mut delta = 0.0;
         for (current, &product_row) in rank.iter_mut().zip(&product.y) {
@@ -335,7 +332,12 @@ mod tests {
         let cg = conjugate_gradient(&a, &b, 2048, 1e-9, 500, &timing);
         let jacobi = jacobi_solve(&a, &b, 2048, 1e-9, 500, &timing);
         assert!(cg.converged && jacobi.converged);
-        assert!(cg.spmv_calls < jacobi.spmv_calls, "cg {} vs jacobi {}", cg.spmv_calls, jacobi.spmv_calls);
+        assert!(
+            cg.spmv_calls < jacobi.spmv_calls,
+            "cg {} vs jacobi {}",
+            cg.spmv_calls,
+            jacobi.spmv_calls
+        );
     }
 
     #[test]

@@ -59,9 +59,7 @@ impl CsrMatrix {
     #[must_use]
     pub fn multiply(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols, "operand length mismatch");
-        (0..self.rows)
-            .map(|row| self.row(row).map(|(col, value)| value * x[col]).sum())
-            .collect()
+        (0..self.rows).map(|row| self.row(row).map(|(col, value)| value * x[col]).sum()).collect()
     }
 
     /// Transposes the matrix (used by apps needing `Aᵀx`).

@@ -29,10 +29,7 @@ pub const ENTRY_BYTES: usize = 12;
 ///
 /// Panics if `blocks_per_rank` is zero.
 #[must_use]
-pub fn measured_stream_bound_ns_per_entry(
-    mem_config: MemoryConfig,
-    blocks_per_rank: usize,
-) -> f64 {
+pub fn measured_stream_bound_ns_per_entry(mem_config: MemoryConfig, blocks_per_rank: usize) -> f64 {
     assert!(blocks_per_rank > 0, "need at least one block per rank");
     let mut config = mem_config;
     config.ndp_data_path = true; // leaf PEs read over rank ports
@@ -61,8 +58,7 @@ pub fn measured_stream_bound_ns_per_entry(
     }
     let done = memory.run_until_idle();
     let total_ns = config.timing.cycles_to_ns(done);
-    let total_entries =
-        (topology.total_ranks() * blocks_per_rank * 512 / ENTRY_BYTES) as f64;
+    let total_entries = (topology.total_ranks() * blocks_per_rank * 512 / ENTRY_BYTES) as f64;
     total_ns / total_entries
 }
 
@@ -73,11 +69,7 @@ pub fn measured_stream_bound_ns_per_entry(
 ///
 /// Panics if `leaves` or `simd_lanes` is zero.
 #[must_use]
-pub fn tree_ingest_bound_ns_per_entry(
-    timing: &PeTiming,
-    leaves: usize,
-    simd_lanes: usize,
-) -> f64 {
+pub fn tree_ingest_bound_ns_per_entry(timing: &PeTiming, leaves: usize, simd_lanes: usize) -> f64 {
     assert!(leaves > 0 && simd_lanes > 0, "tree shape must be non-degenerate");
     timing.cycle_ns() / (leaves * simd_lanes) as f64
 }
@@ -97,8 +89,7 @@ impl TimingValidation {
     /// Runs both bounds for the paper's system and a timing set.
     #[must_use]
     pub fn paper_system(timing: &SpmvTiming) -> Self {
-        let dram_bound =
-            measured_stream_bound_ns_per_entry(MemoryConfig::ddr4_2400_4ch(), 64);
+        let dram_bound = measured_stream_bound_ns_per_entry(MemoryConfig::ddr4_2400_4ch(), 64);
         // 16 leaf PEs at 1PE:2R, 16-lane vectorized entry ingestion.
         let tree_bound = tree_ingest_bound_ns_per_entry(&PeTiming::fpga_200mhz(), 16, 16);
         Self { dram_bound, tree_bound, calibrated: timing.fafnir_multiply_ns }
@@ -187,8 +178,7 @@ pub fn execute_simulated(
     let pe_timing = PeTiming::fpga_200mhz();
     let leaves = (ranks / 2).max(1);
     let ingest = tree_ingest_bound_ns_per_entry(&pe_timing, leaves, 16);
-    let depth_ns = (leaves as f64).log2().ceil().max(1.0)
-        * pe_timing.reduce_latency_ns();
+    let depth_ns = (leaves as f64).log2().ceil().max(1.0) * pe_timing.reduce_latency_ns();
     let merge_entries: u64 = run.volumes[1..].iter().sum();
     let tree_ns = run.volumes[0] as f64 * ingest
         + merge_entries as f64 * ingest * 3.0
@@ -222,8 +212,7 @@ mod tests {
     #[test]
     fn fewer_ranks_stream_slower() {
         let wide = measured_stream_bound_ns_per_entry(MemoryConfig::ddr4_2400_4ch(), 32);
-        let narrow =
-            measured_stream_bound_ns_per_entry(MemoryConfig::with_total_ranks(2), 32);
+        let narrow = measured_stream_bound_ns_per_entry(MemoryConfig::with_total_ranks(2), 32);
         assert!(narrow > 4.0 * wide, "2 ranks {narrow} vs 32 ranks {wide}");
     }
 
@@ -241,8 +230,7 @@ mod tests {
         let lil = crate::lil::LilMatrix::from(&coo);
         let x: Vec<f64> = (0..512).map(|i| 1.0 + (i % 5) as f64).collect();
         let timing = SpmvTiming::paper();
-        let simulated =
-            execute_simulated(&lil, &x, 2048, MemoryConfig::ddr4_2400_4ch(), &timing);
+        let simulated = execute_simulated(&lil, &x, 2048, MemoryConfig::ddr4_2400_4ch(), &timing);
         // Functional equality with the dense reference.
         let want = coo.multiply_dense(&x);
         for (a, b) in simulated.y.iter().zip(&want) {

@@ -25,11 +25,7 @@ pub fn uniform(rows: usize, cols: usize, density: f64, seed: u64) -> CooMatrix {
     let target = ((rows as f64 * cols as f64) * density).round().max(1.0) as usize;
     let mut triplets = Vec::with_capacity(target);
     for _ in 0..target {
-        triplets.push((
-            rng.gen_range(0..rows),
-            rng.gen_range(0..cols),
-            rng.gen_range(-1.0..1.0),
-        ));
+        triplets.push((rng.gen_range(0..rows), rng.gen_range(0..cols), rng.gen_range(-1.0..1.0)));
     }
     CooMatrix::from_triplets(rows, cols, triplets)
 }

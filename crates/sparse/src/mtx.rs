@@ -77,16 +77,16 @@ pub fn parse(text: &str) -> Result<CooMatrix, MtxError> {
     let mut lines = text.lines().enumerate();
 
     // Header: %%MatrixMarket matrix coordinate <field> <symmetry>
-    let (_, header) = lines
-        .next()
-        .ok_or_else(|| MtxError::new(0, "empty input"))?;
-    let tokens: Vec<String> =
-        header.split_whitespace().map(str::to_ascii_lowercase).collect();
+    let (_, header) = lines.next().ok_or_else(|| MtxError::new(0, "empty input"))?;
+    let tokens: Vec<String> = header.split_whitespace().map(str::to_ascii_lowercase).collect();
     if tokens.len() != 5 || tokens[0] != "%%matrixmarket" || tokens[1] != "matrix" {
         return Err(MtxError::new(1, "expected `%%MatrixMarket matrix coordinate …` header"));
     }
     if tokens[2] != "coordinate" {
-        return Err(MtxError::new(1, format!("unsupported format `{}` (only coordinate)", tokens[2])));
+        return Err(MtxError::new(
+            1,
+            format!("unsupported format `{}` (only coordinate)", tokens[2]),
+        ));
     }
     let field = match tokens[3].as_str() {
         "real" => Field::Real,
@@ -218,10 +218,7 @@ mod tests {
         let matrix = parse(SAMPLE).unwrap();
         assert_eq!(matrix.rows(), 3);
         assert_eq!(matrix.nnz(), 4);
-        assert_eq!(
-            matrix.entries(),
-            &[(0, 0, 1.5), (1, 2, -2.0), (2, 0, 0.25), (2, 2, 4.0)]
-        );
+        assert_eq!(matrix.entries(), &[(0, 0, 1.5), (1, 2, -2.0), (2, 0, 0.25), (2, 2, 4.0)]);
     }
 
     #[test]

@@ -78,9 +78,8 @@ mod tests {
     fn spmm_matches_per_column_dense_reference() {
         let coo = gen::uniform(60, 80, 0.08, 51);
         let lil = LilMatrix::from(&coo);
-        let x_columns: Vec<Vec<f64>> = (0..3)
-            .map(|k| (0..80).map(|i| (i + k) as f64 * 0.1).collect())
-            .collect();
+        let x_columns: Vec<Vec<f64>> =
+            (0..3).map(|k| (0..80).map(|i| (i + k) as f64 * 0.1).collect()).collect();
         let run = execute(&lil, &x_columns, 32, &SpmvTiming::paper());
         assert_eq!(run.columns.len(), 3);
         for (column, x) in run.columns.iter().zip(&x_columns) {

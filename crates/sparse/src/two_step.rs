@@ -94,11 +94,7 @@ fn k_way_merge(runs: &[PartialStream], ops: &mut StreamOps) -> PartialStream {
 /// Convenience: FAFNIR-vs-Two-Step speedup on the same problem, each engine
 /// timed on its own run record (Fig. 14's y-axis).
 #[must_use]
-pub fn speedup(
-    timing: &SpmvTiming,
-    fafnir_run: &SpmvRun,
-    two_step_run: &SpmvRun,
-) -> f64 {
+pub fn speedup(timing: &SpmvTiming, fafnir_run: &SpmvRun, two_step_run: &SpmvRun) -> f64 {
     timing.two_step_ns(two_step_run) / timing.fafnir_ns(fafnir_run)
 }
 

@@ -240,9 +240,8 @@ mod tests {
     fn table_contiguous_puts_a_table_on_one_rank() {
         let set = tables().with_placement(TablePlacement::TableContiguous);
         let topology = *set.topology();
-        let rank_of = |table: u32, row: u32| {
-            set.location_of(set.index_of(table, row)).global_rank(&topology)
-        };
+        let rank_of =
+            |table: u32, row: u32| set.location_of(set.index_of(table, row)).global_rank(&topology);
         for table in [0u32, 7, 31] {
             let first = rank_of(table, 0);
             assert_eq!(first, table as usize % 32);

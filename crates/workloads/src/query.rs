@@ -202,11 +202,8 @@ mod tests {
         }
         let late = generator.batch(8);
         // Early and late batches barely share indices (the hot spot moved)…
-        let shared = early
-            .unique_indices()
-            .iter()
-            .filter(|&i| late.unique_indices().contains(i))
-            .count();
+        let shared =
+            early.unique_indices().iter().filter(|&i| late.unique_indices().contains(i)).count();
         assert!(shared < 25, "hot spots should have drifted apart: {shared} shared");
         // …while intra-batch sharing (what dedup exploits) persists.
         assert!(late.unique_fraction() < 0.95, "got {}", late.unique_fraction());

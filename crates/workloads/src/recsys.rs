@@ -65,10 +65,8 @@ impl InferenceBreakdown {
     /// perfectly by `factor` — Fig. 12's red line.
     #[must_use]
     pub fn ideal_speedup(baseline: &InferenceBreakdown, factor: f64) -> f64 {
-        let scaled = InferenceBreakdown {
-            embedding_ns: baseline.embedding_ns / factor,
-            ..*baseline
-        };
+        let scaled =
+            InferenceBreakdown { embedding_ns: baseline.embedding_ns / factor, ..*baseline };
         baseline.total_ns() / scaled.total_ns()
     }
 
@@ -108,7 +106,8 @@ mod tests {
 
     #[test]
     fn ideal_speedup_matches_manual_computation() {
-        let baseline = InferenceBreakdown { embedding_ns: 800_000.0, fc_ns: 500_000.0, other_ns: 100_000.0 };
+        let baseline =
+            InferenceBreakdown { embedding_ns: 800_000.0, fc_ns: 500_000.0, other_ns: 100_000.0 };
         let ideal = InferenceBreakdown::ideal_speedup(&baseline, 4.0);
         let expected = 1_400_000.0 / (200_000.0 + 600_000.0);
         assert!((ideal - expected).abs() < 1e-9);

@@ -49,7 +49,12 @@ impl TablewiseGenerator {
     ///
     /// Panics if `tables_per_query` is zero or exceeds the table count.
     #[must_use]
-    pub fn new(tables: &EmbeddingTableSet, tables_per_query: usize, exponent: f64, seed: u64) -> Self {
+    pub fn new(
+        tables: &EmbeddingTableSet,
+        tables_per_query: usize,
+        exponent: f64,
+        seed: u64,
+    ) -> Self {
         assert!(
             tables_per_query > 0 && tables_per_query <= tables.tables() as usize,
             "tables_per_query must be in 1..={}",
@@ -163,8 +168,7 @@ mod tests {
     #[test]
     fn multi_hot_pooling_samples_distinct_rows_per_table() {
         let set = tables();
-        let mut generator =
-            TablewiseGenerator::new(&set, 4, 1.0, 6).with_rows_per_lookup(3);
+        let mut generator = TablewiseGenerator::new(&set, 4, 1.0, 6).with_rows_per_lookup(3);
         let query = generator.query();
         assert_eq!(query.len(), 12);
         let mut per_table = std::collections::HashMap::new();

@@ -141,9 +141,7 @@ impl QueryTrace {
             .map(|chunk| {
                 chunk
                     .iter()
-                    .map(|query| {
-                        IndexSet::from_iter_dedup(query.iter().copied().map(VectorIndex))
-                    })
+                    .map(|query| IndexSet::from_iter_dedup(query.iter().copied().map(VectorIndex)))
                     .collect()
             })
             .collect()
@@ -339,12 +337,8 @@ mod tests {
         // Sec. III-E: RecNMP's 128 KB cache (256 x 512 B vectors) reaches at
         // most ~50 % hits. Reproduce with the calibrated traffic.
         // Production-scale universe: 100 k indices at Zipf 1.05.
-        let mut generator = BatchGenerator::new(
-            Popularity::Zipf { exponent: 1.05 },
-            100_000,
-            16,
-            77,
-        );
+        let mut generator =
+            BatchGenerator::new(Popularity::Zipf { exponent: 1.05 }, 100_000, 16, 77);
         let trace = QueryTrace::record(&mut generator, 600);
         let distances = trace.reuse_distances();
         let hit_rate_128kb = distances.lru_hit_rate(256);
@@ -358,8 +352,7 @@ mod tests {
 
     #[test]
     fn record_from_generator_matches_generator_settings() {
-        let mut generator =
-            BatchGenerator::new(Popularity::Zipf { exponent: 1.1 }, 1_000, 8, 5);
+        let mut generator = BatchGenerator::new(Popularity::Zipf { exponent: 1.1 }, 1_000, 8, 5);
         let trace = QueryTrace::record(&mut generator, 20);
         assert_eq!(trace.len(), 20);
         let batches = trace.replay(8);

@@ -45,7 +45,8 @@ impl Zipf {
         assert!(theta.is_finite() && theta >= 0.0, "exponent must be finite and non-negative");
         let h_x1 = Self::h_integral(1.5, theta) - 1.0;
         let h_half = Self::h_integral(0.5, theta);
-        let s = 2.0 - Self::h_integral_inverse(Self::h_integral(2.5, theta) - Self::h(2.0, theta), theta);
+        let s = 2.0
+            - Self::h_integral_inverse(Self::h_integral(2.5, theta) - Self::h(2.0, theta), theta);
         Self { n, theta, h_x1, h_half, s }
     }
 

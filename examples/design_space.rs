@@ -8,14 +8,13 @@
 
 use fafnir_core::model::area_power::AsicModel;
 use fafnir_core::model::connections::ConnectionModel;
-use fafnir_core::{Batch, FafnirConfig, FafnirEngine, StripedSource};
+use fafnir_core::{Batch, FafnirConfig, FafnirEngine, GatherEngine, StripedSource};
 use fafnir_mem::MemoryConfig;
 use fafnir_workloads::query::{BatchGenerator, Popularity};
 
 fn main() -> Result<(), fafnir_core::FafnirError> {
     let asic = AsicModel::asap7();
-    let mut generator =
-        BatchGenerator::new(Popularity::Zipf { exponent: 1.05 }, 2_000, 16, 99);
+    let mut generator = BatchGenerator::new(Popularity::Zipf { exponent: 1.05 }, 2_000, 16, 99);
     let batch: Batch = generator.batch(16);
 
     println!(

@@ -7,7 +7,7 @@
 //! cargo run --example dlrm_inference
 //! ```
 
-use fafnir_core::{Batch, FafnirConfig, FafnirEngine};
+use fafnir_core::{Batch, FafnirConfig, FafnirEngine, GatherEngine};
 use fafnir_mem::MemoryConfig;
 use fafnir_workloads::tablewise::TablewiseGenerator;
 use fafnir_workloads::{DlrmModel, EmbeddingTableSet};

@@ -7,7 +7,9 @@
 //! ```
 
 use fafnir_sparse::apps::conjugate_gradient;
-use fafnir_sparse::{fafnir_spmv, gen, mtx, two_step, CsrMatrix, LilMatrix, MatrixProfile, SpmvTiming};
+use fafnir_sparse::{
+    fafnir_spmv, gen, mtx, two_step, CsrMatrix, LilMatrix, MatrixProfile, SpmvTiming,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Pretend this came from SuiteSparse: an SPD banded system serialized
@@ -42,12 +44,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let x_true: Vec<f64> = (0..matrix.rows()).map(|i| ((i % 9) as f64) * 0.25).collect();
     let b = csr.multiply(&x_true);
     let solve = conjugate_gradient(&csr, &b, 2048, 1e-10, 500, &timing);
-    let error = solve
-        .solution
-        .iter()
-        .zip(&x_true)
-        .map(|(a, b)| (a - b).abs())
-        .fold(0.0f64, f64::max);
+    let error =
+        solve.solution.iter().zip(&x_true).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
     println!(
         "cg: {} SpMV calls, converged = {}, max error {error:.2e}, speedup {:.2}x",
         solve.spmv_calls,

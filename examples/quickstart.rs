@@ -4,7 +4,9 @@
 //! cargo run --example quickstart
 //! ```
 
-use fafnir_core::{Batch, FafnirConfig, FafnirEngine, IndexSet, StripedSource, VectorIndex};
+use fafnir_core::{
+    Batch, FafnirConfig, FafnirEngine, GatherEngine, IndexSet, StripedSource, VectorIndex,
+};
 use fafnir_mem::MemoryConfig;
 
 fn main() -> Result<(), fafnir_core::FafnirError> {

@@ -6,9 +6,8 @@
 //! cargo run --example recommendation_inference
 //! ```
 
-use fafnir_baselines::{
-    FafnirLookup, LookupEngine, NoNdpEngine, RecNmpEngine, TensorDimmEngine,
-};
+use fafnir_baselines::{LookupEngine, NoNdpEngine, RecNmpEngine, TensorDimmEngine};
+use fafnir_core::FafnirEngine;
 use fafnir_mem::MemoryConfig;
 use fafnir_workloads::query::{BatchGenerator, Popularity};
 use fafnir_workloads::recsys::RecSysModel;
@@ -28,8 +27,7 @@ fn main() -> Result<(), fafnir_core::FafnirError> {
     );
 
     // Production-like skewed traffic: batch of 32 queries, 16 lookups each.
-    let mut generator =
-        BatchGenerator::new(Popularity::Zipf { exponent: 1.05 }, 2_000, 16, 2024);
+    let mut generator = BatchGenerator::new(Popularity::Zipf { exponent: 1.05 }, 2_000, 16, 2024);
     let batch = generator.batch(32);
     println!(
         "batch: {} queries x 16 indices, {:.0} % unique\n",
@@ -37,7 +35,7 @@ fn main() -> Result<(), fafnir_core::FafnirError> {
         batch.unique_fraction() * 100.0
     );
 
-    let fafnir = FafnirLookup::paper_default(mem)?;
+    let fafnir = FafnirEngine::paper_default(mem)?;
     let recnmp = RecNmpEngine::paper_default(mem);
     let tensordimm = TensorDimmEngine::paper_default(mem);
     let no_ndp = NoNdpEngine::paper_default(mem);

@@ -8,9 +8,7 @@
 //! ```
 
 use fafnir_core::inject::{build_rank_inputs, GatheredVector};
-use fafnir_core::{
-    Batch, FafnirConfig, IndexSet, PeTiming, ReduceOp, ReductionTree, VectorIndex,
-};
+use fafnir_core::{Batch, FafnirConfig, IndexSet, PeTiming, ReduceOp, ReductionTree, VectorIndex};
 
 fn main() -> Result<(), fafnir_core::FafnirError> {
     let ranks = 8;
@@ -71,6 +69,9 @@ fn main() -> Result<(), fafnir_core::FafnirError> {
     for (query, value) in run.query_outputs(ReduceOp::Sum) {
         println!("  {query} -> {:.1}", value[0]);
     }
-    println!("\ncompletion: {:.0} ns, {} incomplete", run.stats.completion_ns, run.stats.incomplete_outputs);
+    println!(
+        "\ncompletion: {:.0} ns, {} incomplete",
+        run.stats.completion_ns, run.stats.incomplete_outputs
+    );
     Ok(())
 }

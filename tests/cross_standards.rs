@@ -2,8 +2,8 @@
 //! correct on every memory preset (DDR4-2400, DDR5-4800, HBM2), every page
 //! policy, and both table placements, with realistic table-wise traffic.
 
-use fafnir_baselines::{FafnirLookup, LookupEngine};
-use fafnir_core::{Batch, FafnirConfig, ReduceOp};
+use fafnir_baselines::LookupEngine;
+use fafnir_core::{Batch, FafnirConfig, FafnirEngine, ReduceOp};
 use fafnir_mem::{MemoryConfig, PagePolicy};
 use fafnir_workloads::tablewise::TablewiseGenerator;
 use fafnir_workloads::{EmbeddingTableSet, TablePlacement};
@@ -14,10 +14,9 @@ fn tablewise_batch(tables: &EmbeddingTableSet, seed: u64) -> Batch {
 }
 
 fn check(mem: MemoryConfig, placement: TablePlacement, seed: u64) {
-    let tables =
-        EmbeddingTableSet::new(mem.topology, 32, 4_096, 128).with_placement(placement);
+    let tables = EmbeddingTableSet::new(mem.topology, 32, 4_096, 128).with_placement(placement);
     let batch = tablewise_batch(&tables, seed);
-    let engine = FafnirLookup::paper_default(mem).expect("engine");
+    let engine = FafnirEngine::paper_default(mem).expect("engine");
     let outcome = engine.lookup(&batch, &tables).expect("lookup");
     let reference = fafnir_core::engine::reference_lookup(&batch, &tables, ReduceOp::Sum);
     assert_eq!(outcome.outputs.len(), reference.len());
@@ -63,8 +62,8 @@ fn straggler_system_is_still_functionally_exact() {
     // And slower than the healthy system on the same batch.
     let tables = EmbeddingTableSet::new(mem.topology, 32, 4_096, 128);
     let batch = tablewise_batch(&tables, 305);
-    let healthy = FafnirLookup::paper_default(MemoryConfig::ddr4_2400_4ch()).unwrap();
-    let degraded = FafnirLookup::paper_default(mem).unwrap();
+    let healthy = FafnirEngine::paper_default(MemoryConfig::ddr4_2400_4ch()).unwrap();
+    let degraded = FafnirEngine::paper_default(mem).unwrap();
     let healthy_ns = healthy.lookup(&batch, &tables).unwrap().total_ns;
     let degraded_ns = degraded.lookup(&batch, &tables).unwrap().total_ns;
     assert!(degraded_ns > healthy_ns, "{degraded_ns} vs {healthy_ns}");
@@ -72,11 +71,9 @@ fn straggler_system_is_still_functionally_exact() {
 
 #[test]
 fn command_logs_stay_legal_on_every_preset() {
-    for mem in [
-        MemoryConfig::ddr4_2400_4ch(),
-        MemoryConfig::ddr5_4800_4ch(),
-        MemoryConfig::hbm2_32pc(),
-    ] {
+    for mem in
+        [MemoryConfig::ddr4_2400_4ch(), MemoryConfig::ddr5_4800_4ch(), MemoryConfig::hbm2_32pc()]
+    {
         let mut config = mem;
         config.ndp_data_path = true;
         let mut system = fafnir_mem::MemorySystem::new(config);
@@ -86,11 +83,8 @@ fn command_logs_stay_legal_on_every_preset() {
         }
         system.run_until_idle();
         for log in system.take_command_logs() {
-            let violations = fafnir_mem::verify_log(
-                &log,
-                &config.timing,
-                config.topology.banks_per_group,
-            );
+            let violations =
+                fafnir_mem::verify_log(&log, &config.timing, config.topology.banks_per_group);
             assert!(violations.is_empty(), "{violations:?}");
         }
     }
@@ -100,13 +94,14 @@ fn command_logs_stay_legal_on_every_preset() {
 /// splitting, dedup, and tail percentiles hold everywhere.
 #[test]
 fn invariants_hold_across_standards() {
-    for mem in [MemoryConfig::ddr4_2400_4ch(), MemoryConfig::ddr5_4800_4ch(), MemoryConfig::hbm2_32pc()]
+    for mem in
+        [MemoryConfig::ddr4_2400_4ch(), MemoryConfig::ddr5_4800_4ch(), MemoryConfig::hbm2_32pc()]
     {
         let tables = EmbeddingTableSet::new(mem.topology, 32, 4_096, 128);
         let batch = tablewise_batch(&tables, 306);
         let config = FafnirConfig { batch_capacity: 8, ..FafnirConfig::paper_default() };
         let engine = fafnir_core::FafnirEngine::new(config, mem).unwrap();
-        let result = engine.lookup(&batch, &tables).unwrap();
+        let result = fafnir_core::GatherEngine::lookup(&engine, &batch, &tables).unwrap();
         assert_eq!(result.outputs.len(), 16);
         assert!(result.traffic.vectors_read <= batch.total_references() as u64);
         assert!(result.completion_percentile_ns(1.0) <= result.latency.total_ns + 1e-9);

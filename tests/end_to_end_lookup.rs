@@ -2,10 +2,8 @@
 //! generated traffic must agree functionally and respect the paper's
 //! data-movement invariants.
 
-use fafnir_baselines::{
-    FafnirLookup, LookupEngine, NoNdpEngine, RecNmpEngine, TensorDimmEngine,
-};
-use fafnir_core::{Batch, ReduceOp};
+use fafnir_baselines::{LookupEngine, NoNdpEngine, RecNmpEngine, TensorDimmEngine};
+use fafnir_core::{Batch, FafnirEngine, ReduceOp};
 use fafnir_mem::MemoryConfig;
 use fafnir_workloads::query::{BatchGenerator, Popularity};
 use fafnir_workloads::EmbeddingTableSet;
@@ -22,7 +20,7 @@ fn traffic(seed: u64) -> BatchGenerator {
 #[test]
 fn all_engines_agree_on_zipf_batches() {
     let (mem, tables) = tables();
-    let fafnir = FafnirLookup::paper_default(mem).unwrap();
+    let fafnir = FafnirEngine::paper_default(mem).unwrap();
     let recnmp = RecNmpEngine::paper_default(mem);
     let tensordimm = TensorDimmEngine::paper_default(mem);
     let no_ndp = NoNdpEngine::paper_default(mem);
@@ -50,7 +48,7 @@ fn all_engines_agree_on_zipf_batches() {
 #[test]
 fn fafnir_moves_least_data_to_host() {
     let (mem, tables) = tables();
-    let fafnir = FafnirLookup::paper_default(mem).unwrap();
+    let fafnir = FafnirEngine::paper_default(mem).unwrap();
     let recnmp = RecNmpEngine::paper_default(mem);
     let no_ndp = NoNdpEngine::paper_default(mem);
     let batch = traffic(102).batch(32);
@@ -66,7 +64,7 @@ fn fafnir_moves_least_data_to_host() {
 #[test]
 fn dedup_never_reads_more_than_references() {
     let (mem, tables) = tables();
-    let fafnir = FafnirLookup::paper_default(mem).unwrap();
+    let fafnir = FafnirEngine::paper_default(mem).unwrap();
     let mut generator = traffic(103);
     for batch_size in [4usize, 8, 16, 32] {
         let batch = generator.batch(batch_size);
@@ -86,7 +84,7 @@ fn fafnir_and_recnmp_share_the_memory_phase_profile() {
             dedup: false,
             ..fafnir_core::FafnirConfig::paper_default()
         };
-        FafnirLookup::new(config, mem).unwrap()
+        FafnirEngine::new(config, mem).unwrap()
     };
     let recnmp = RecNmpEngine::paper_default(mem).without_cache();
     let batch = traffic(104).batch(8);
@@ -99,7 +97,7 @@ fn fafnir_and_recnmp_share_the_memory_phase_profile() {
 #[test]
 fn oversized_software_batches_round_trip() {
     let (mem, tables) = tables();
-    let fafnir = FafnirLookup::paper_default(mem).unwrap();
+    let fafnir = FafnirEngine::paper_default(mem).unwrap();
     let batch: Batch = traffic(105).batch(100); // > hardware capacity 32
     let outcome = fafnir.lookup(&batch, &tables).unwrap();
     assert_eq!(outcome.outputs.len(), 100);

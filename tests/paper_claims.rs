@@ -2,11 +2,11 @@
 //! Each test names the figure/table it guards; the benchmarks print the
 //! full series, these keep the *shape* from regressing.
 
-use fafnir_baselines::{FafnirLookup, LookupEngine, RecNmpEngine, TensorDimmEngine};
+use fafnir_baselines::{LookupEngine, RecNmpEngine, TensorDimmEngine};
 use fafnir_core::model::area_power::AsicModel;
 use fafnir_core::model::connections::ConnectionModel;
 use fafnir_core::model::fpga::{FpgaDeployment, FpgaDevice};
-use fafnir_core::{Batch, FafnirConfig, IndexSet, StripedSource, VectorIndex};
+use fafnir_core::{Batch, FafnirConfig, FafnirEngine, IndexSet, StripedSource, VectorIndex};
 use fafnir_mem::MemoryConfig;
 use fafnir_workloads::query::{BatchGenerator, Popularity};
 use fafnir_workloads::stats::sharing_sweep;
@@ -17,9 +17,7 @@ fn traffic(seed: u64) -> BatchGenerator {
 
 /// Fig. 11: one query, 16 × 512 B vectors, 32 ranks.
 fn single_query() -> Batch {
-    Batch::from_index_sets([IndexSet::from_iter_dedup(
-        (0..16u32).map(|i| VectorIndex(i * 37 + 5)),
-    )])
+    Batch::from_index_sets([IndexSet::from_iter_dedup((0..16u32).map(|i| VectorIndex(i * 37 + 5)))])
 }
 
 #[test]
@@ -27,7 +25,7 @@ fn fig11_tensordimm_memory_is_several_times_slower() {
     let mem = MemoryConfig::ddr4_2400_4ch();
     let source = StripedSource::new(mem.topology, 128);
     let batch = single_query();
-    let fafnir = FafnirLookup::paper_default(mem).unwrap().lookup(&batch, &source).unwrap();
+    let fafnir = FafnirEngine::paper_default(mem).unwrap().lookup(&batch, &source).unwrap();
     let recnmp = RecNmpEngine::paper_default(mem).lookup(&batch, &source).unwrap();
     let tensordimm = TensorDimmEngine::paper_default(mem).lookup(&batch, &source).unwrap();
     // Paper: 4.45x (up to 16x with no row-buffer hit); we measure ~10x.
@@ -43,7 +41,7 @@ fn fig11_compute_ordering_holds() {
     let mem = MemoryConfig::ddr4_2400_4ch();
     let source = StripedSource::new(mem.topology, 128);
     let batch = single_query();
-    let fafnir = FafnirLookup::paper_default(mem).unwrap().lookup(&batch, &source).unwrap();
+    let fafnir = FafnirEngine::paper_default(mem).unwrap().lookup(&batch, &source).unwrap();
     let recnmp = RecNmpEngine::paper_default(mem).lookup(&batch, &source).unwrap();
     let tensordimm = TensorDimmEngine::paper_default(mem).lookup(&batch, &source).unwrap();
     // TensorDIMM's serial pipeline ≈ 2.5× FAFNIR's tree.
@@ -60,7 +58,7 @@ fn fig11_compute_ordering_holds() {
 fn fig13_speedup_over_recnmp_grows_with_batch() {
     let mem = MemoryConfig::ddr4_2400_4ch();
     let source = StripedSource::new(mem.topology, 128);
-    let fafnir = FafnirLookup::paper_default(mem).unwrap();
+    let fafnir = FafnirEngine::paper_default(mem).unwrap();
     let recnmp = RecNmpEngine::paper_default(mem);
     let mut generator = traffic(201);
     let mut ratios = Vec::new();
@@ -83,12 +81,10 @@ fn fig13_speedup_over_recnmp_grows_with_batch() {
 fn fig13_dedup_multiplier_grows_with_batch() {
     let mem = MemoryConfig::ddr4_2400_4ch();
     let source = StripedSource::new(mem.topology, 128);
-    let with_dedup = FafnirLookup::paper_default(mem).unwrap();
-    let without = FafnirLookup::new(
-        FafnirConfig { dedup: false, ..FafnirConfig::paper_default() },
-        mem,
-    )
-    .unwrap();
+    let with_dedup = FafnirEngine::paper_default(mem).unwrap();
+    let without =
+        FafnirEngine::new(FafnirConfig { dedup: false, ..FafnirConfig::paper_default() }, mem)
+            .unwrap();
     let mut generator = traffic(202);
     let mut extras = Vec::new();
     for batch_size in [8usize, 32] {
@@ -147,7 +143,7 @@ fn abstract_headline_fafnir_beats_recnmp_by_growing_factors() {
     // the authors' host model; see EXPERIMENTS.md).
     let mem = MemoryConfig::ddr4_2400_4ch();
     let source = StripedSource::new(mem.topology, 128);
-    let fafnir = FafnirLookup::paper_default(mem).unwrap();
+    let fafnir = FafnirEngine::paper_default(mem).unwrap();
     let recnmp = RecNmpEngine::paper_default(mem);
     let batch = traffic(204).batch(32);
     let f = fafnir.lookup(&batch, &source).unwrap();

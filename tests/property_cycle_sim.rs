@@ -7,9 +7,7 @@ use proptest::prelude::*;
 
 use fafnir_core::cycle_sim::CycleTree;
 use fafnir_core::inject::{build_rank_inputs, GatheredVector};
-use fafnir_core::{
-    Batch, FafnirConfig, IndexSet, PeTiming, ReduceOp, ReductionTree, VectorIndex,
-};
+use fafnir_core::{Batch, FafnirConfig, IndexSet, PeTiming, ReduceOp, ReductionTree, VectorIndex};
 
 fn batch_strategy() -> impl Strategy<Value = Batch> {
     proptest::collection::vec(proptest::collection::vec(0u32..48, 1..8), 1..10).prop_map(|sets| {

@@ -6,18 +6,14 @@
 use proptest::prelude::*;
 
 use fafnir_core::{
-    Batch, FafnirConfig, FafnirEngine, IndexSet, ReduceOp, StripedSource, VectorIndex,
+    Batch, FafnirConfig, FafnirEngine, GatherEngine, IndexSet, ReduceOp, StripedSource, VectorIndex,
 };
 use fafnir_mem::MemoryConfig;
 
 /// A random batch over a small universe (to provoke sharing, co-residence,
 /// and every routing corner).
 fn batch_strategy() -> impl Strategy<Value = Batch> {
-    proptest::collection::vec(
-        proptest::collection::vec(0u32..96, 1..10),
-        1..12,
-    )
-    .prop_map(|sets| {
+    proptest::collection::vec(proptest::collection::vec(0u32..96, 1..10), 1..12).prop_map(|sets| {
         sets.into_iter()
             .map(|s| IndexSet::from_iter_dedup(s.into_iter().map(VectorIndex)))
             .collect()

@@ -4,26 +4,16 @@
 
 use proptest::prelude::*;
 
-use fafnir_mem::{
-    verify_log, AccessKind, MemoryConfig, MemorySystem, PagePolicy, Request,
-};
+use fafnir_mem::{verify_log, AccessKind, MemoryConfig, MemorySystem, PagePolicy, Request};
 
 /// A random request: address within capacity, plausible size, staggered
 /// arrival, mixed reads and writes.
 fn request_strategy(capacity: u64) -> impl Strategy<Value = Request> {
-    (
-        0..capacity / 64,
-        prop_oneof![Just(64usize), Just(128), Just(512)],
-        0u64..2_000,
-        any::<bool>(),
-    )
+    (0..capacity / 64, prop_oneof![Just(64usize), Just(128), Just(512)], 0u64..2_000, any::<bool>())
         .prop_map(move |(slot, bytes, arrival, write)| {
             let addr = (slot * 64).min(capacity - bytes as u64);
-            let request = if write {
-                Request::write(addr, bytes)
-            } else {
-                Request::read(addr, bytes)
-            };
+            let request =
+                if write { Request::write(addr, bytes) } else { Request::read(addr, bytes) };
             request.at(arrival)
         })
 }

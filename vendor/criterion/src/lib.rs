@@ -1,0 +1,150 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides `Criterion::bench_function`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, `black_box`, and the `criterion_group!`/`criterion_main!`
+//! macros so the micro-benchmarks build and run without crates.io access.
+//! Measurement is a plain wall-clock mean over `sample_size` samples
+//! (after a short warm-up) — no outlier analysis, no HTML reports — which
+//! is enough for the relative comparisons the benches print.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost. The stand-in runs one
+/// routine call per setup regardless; the variant is accepted for API
+/// compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Measures one benchmark's routine.
+pub struct Bencher {
+    samples: usize,
+    /// Mean wall-clock time per routine call, filled by `iter*`.
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, recording the mean over the configured samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: let caches/allocator settle before measuring.
+        for _ in 0..2 {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.mean = start.elapsed() / self.samples as u32;
+    }
+
+    /// Times `routine` with per-call inputs built by `setup`; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        for _ in 0..2 {
+            black_box(routine(setup()));
+        }
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.mean = total / self.samples as u32;
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Sets the number of measured samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        assert!(samples > 0, "sample_size must be positive");
+        self.sample_size = samples;
+        self
+    }
+
+    /// Runs one named benchmark and prints its mean time per iteration.
+    pub fn bench_function<F>(&mut self, name: &str, mut body: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { samples: self.sample_size, mean: Duration::ZERO };
+        body(&mut bencher);
+        println!("{name:<40} {:>12.3} us/iter", bencher.mean.as_secs_f64() * 1e6);
+        self
+    }
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+/// Bundles benchmark functions into one group runner, mirroring
+/// `criterion::criterion_group!` (both the plain and the
+/// `name/config/targets` forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running the given groups, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures_and_chains() {
+        let mut criterion = Criterion::default().sample_size(3);
+        let mut runs = 0usize;
+        criterion.bench_function("noop", |b| b.iter(|| black_box(1 + 1))).bench_function(
+            "batched",
+            |b| {
+                b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+            },
+        );
+        runs += 1;
+        assert_eq!(runs, 1);
+    }
+}

@@ -1,0 +1,573 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace uses —
+//! `Strategy` (ranges, tuples, `Just`, `prop_map`, `prop_oneof!`,
+//! `collection::{vec, btree_set}`, `any::<T>()`), `TestRunner`,
+//! `ProptestConfig`, and the `proptest!` / `prop_assert*` macros — as a
+//! plain deterministic random tester. There is no shrinking and no
+//! persistence (`proptest-regressions` files are ignored); failures
+//! report the generated inputs via `Debug` instead. Seeds are fixed, so
+//! failures reproduce exactly across runs.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod test_runner {
+    //! Runner, config, and error types (`proptest::test_runner`).
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Deterministic generator handed to strategies.
+    pub struct TestRng(pub(crate) StdRng);
+
+    impl TestRng {
+        pub(crate) fn new(seed: u64) -> Self {
+            Self(StdRng::seed_from_u64(seed))
+        }
+
+        /// Access to the underlying rand generator.
+        pub fn rng(&mut self) -> &mut StdRng {
+            &mut self.0
+        }
+    }
+
+    /// Subset of `ProptestConfig`: only the case count matters here.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` random cases per property.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// A failed property case (what `prop_assert!` produces).
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        #[must_use]
+        pub fn fail(message: String) -> Self {
+            Self(message)
+        }
+    }
+
+    /// A failed property run: the message plus the offending input.
+    #[derive(Debug, Clone)]
+    pub struct TestError(pub String);
+
+    impl std::fmt::Display for TestError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for TestError {}
+
+    /// Runs a property against freshly generated inputs.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        rng: TestRng,
+    }
+
+    impl TestRunner {
+        /// Runner with an explicit config.
+        #[must_use]
+        pub fn new(config: ProptestConfig) -> Self {
+            // Fixed seed: failures reproduce bit-exactly across runs.
+            Self { config, rng: TestRng::new(0x5eed_fa47_11e5_0001) }
+        }
+
+        /// Runs `test` against `config.cases` generated values, stopping at
+        /// the first failure with a `Debug` dump of the offending input.
+        ///
+        /// # Errors
+        ///
+        /// Returns the first failing case, if any.
+        pub fn run<S, F>(&mut self, strategy: &S, test: F) -> Result<(), TestError>
+        where
+            S: Strategy,
+            S::Value: std::fmt::Debug,
+            F: Fn(S::Value) -> Result<(), TestCaseError>,
+        {
+            for case in 0..self.config.cases {
+                let value = strategy.generate(&mut self.rng);
+                let shown = format!("{value:?}");
+                if let Err(TestCaseError(message)) = test(value) {
+                    return Err(TestError(format!(
+                        "property failed at case {case}/{}: {message}\n  input: {shown}",
+                        self.config.cases
+                    )));
+                }
+            }
+            Ok(())
+        }
+    }
+
+    impl Default for TestRunner {
+        fn default() -> Self {
+            Self::new(ProptestConfig::default())
+        }
+    }
+}
+
+pub mod strategy {
+    //! The `Strategy` trait and combinators (`proptest::strategy`).
+
+    use super::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A recipe for generating values of one type.
+    ///
+    /// Unlike real proptest there is no shrinking: `generate` draws a
+    /// value directly from the runner's deterministic generator.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `map`.
+        fn prop_map<T, F>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { inner: self, map }
+        }
+
+        /// Boxes the strategy for heterogeneous storage (`prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// Object-safe boxed strategy, as used by [`Union`].
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Always produces a clone of one value (`proptest::strategy::Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        map: F,
+    }
+
+    impl<S, F, T> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.map)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between alternatives (`prop_oneof!`).
+    pub struct Union<V> {
+        options: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Builds a union over the given alternatives.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `options` is empty.
+        #[must_use]
+        pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Self { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let pick = rng.rng().gen_range(0..self.options.len());
+            self.options[pick].generate(rng)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng().gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` support (`proptest::arbitrary`).
+
+    use super::test_runner::TestRng;
+    use rand::{Rng, Standard};
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl<T: Standard> Arbitrary for T {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.rng().gen::<T>()
+        }
+    }
+
+    /// Strategy returned by [`any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> super::strategy::Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T` (`proptest::arbitrary::any`).
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`proptest::collection`).
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::Rng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// A size or size range for generated collections.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange(Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            Self(exact..exact + 1)
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(range: Range<usize>) -> Self {
+            assert!(range.start < range.end, "empty collection size range");
+            Self(range)
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            rng.rng().gen_range(self.0.clone())
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from the size range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec`: vectors of `element` values.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = self.size.sample(rng);
+            let mut set = BTreeSet::new();
+            // Duplicates are retried a bounded number of times; a small
+            // element domain may legitimately yield fewer than `target`.
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < target * 10 + 16 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+
+    /// `proptest::collection::btree_set`: sets of `element` values.
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+}
+
+pub mod prelude {
+    //! Everything a property test needs (`proptest::prelude::*`).
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRunner};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body against generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr); ) => {};
+    (($config:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::test_runner::TestRunner::new($config);
+            runner
+                .run(
+                    &($($strategy,)+),
+                    |($($arg,)+)| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    },
+                )
+                .unwrap();
+        }
+        $crate::__proptest_impl! { ($config); $($rest)* }
+    };
+}
+
+/// `assert!` that fails the current case instead of panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", ::core::stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `assert_eq!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// `assert_ne!` counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+// Keep `TestRng` re-exported where strategies expect it.
+pub use test_runner::TestRng;
+
+#[allow(dead_code)]
+fn _seed_type_check() {
+    let _ = StdRng::seed_from_u64(0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn runner_reports_failures_with_input() {
+        let mut runner = TestRunner::default();
+        let err = runner
+            .run(&(0u32..10,), |(v,)| {
+                prop_assert!(v < 3, "value {v} too big");
+                Ok(())
+            })
+            .unwrap_err();
+        assert!(err.0.contains("too big"), "{}", err.0);
+        assert!(err.0.contains("input:"), "{}", err.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn vec_lengths_respect_size_range(
+            values in crate::collection::vec(0u32..100, 2..5),
+        ) {
+            prop_assert!((2..5).contains(&values.len()));
+            for v in &values {
+                prop_assert!(*v < 100);
+            }
+        }
+
+        #[test]
+        fn oneof_only_yields_listed_values(
+            size in prop_oneof![Just(64usize), Just(128), Just(512)],
+            flag in any::<bool>(),
+        ) {
+            prop_assert!(size == 64 || size == 128 || size == 512);
+            let _ = flag;
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(
+            pair in (0u64..8, 0u64..8).prop_map(|(a, b)| a * 8 + b),
+        ) {
+            prop_assert!(pair < 64);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn btree_sets_are_bounded(
+            set in crate::collection::btree_set(0u32..32, 0..8),
+        ) {
+            prop_assert!(set.len() < 8);
+        }
+    }
+}

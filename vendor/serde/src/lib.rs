@@ -1,0 +1,30 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` trait names and the derive
+//! macros so the workspace compiles without crates.io access. The traits
+//! are markers with blanket impls: no actual (de)serialisation happens,
+//! which is fine because nothing in the repo serialises today — the
+//! derives only declare intent. Swap this for real serde by pointing the
+//! workspace dependency back at the registry.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T {}
+
+/// Namespace parity with real serde (`serde::de::DeserializeOwned`).
+pub mod de {
+    pub use super::DeserializeOwned;
+}

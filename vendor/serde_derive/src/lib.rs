@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace is built in a hermetic environment with no crates.io
+//! access, and nothing in the repo actually serialises anything yet — the
+//! `#[derive(Serialize, Deserialize)]` annotations only mark types as
+//! wire-ready for future tooling. These derives therefore accept the same
+//! syntax (including `#[serde(...)]` attributes) and expand to nothing;
+//! the blanket impls in the companion `serde` stub keep any
+//! `T: Serialize` bounds satisfiable.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
