@@ -123,7 +123,8 @@ fn buffer_sizing_validation() {
     };
     let mut rows = Vec::new();
     for capacity in [1usize, 2, 4, 8, 16, 32] {
-        let outcome = CycleTree::new(&tree, capacity).run(inputs(capacity));
+        let outcome =
+            CycleTree::new(&tree, capacity).expect("non-zero capacity").run(inputs(capacity));
         rows.push(match outcome {
             Ok(run) => vec![
                 capacity.to_string(),

@@ -138,7 +138,7 @@ fn bench_cycle_sim(c: &mut Criterion) {
         })
         .collect();
     let inputs = build_rank_inputs(&batch, &gathered, 8, 2, ReduceOp::Sum, &PeTiming::default());
-    let sim = CycleTree::new(&tree, 32);
+    let sim = CycleTree::new(&tree, 32).expect("non-zero capacity");
     c.bench_function("cycle_sim_8x8_batch", |b| {
         b.iter_batched(
             || inputs.clone(),

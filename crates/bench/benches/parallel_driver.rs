@@ -21,7 +21,7 @@ use fafnir_core::{Batch, FafnirEngine, GatherEngine, ParallelBatchDriver, Stripe
 const SOFTWARE_BATCHES: usize = 8;
 const QUERIES_PER_BATCH: usize = 32; // = paper batch capacity -> 8 hardware batches
 const SAMPLES: u32 = 10;
-const THREADS: [usize; 4] = [1, 2, 4, 8];
+const THREAD_LADDER: [usize; 4] = [1, 2, 4, 8];
 
 fn measure<F: FnMut()>(mut body: F) -> f64 {
     for _ in 0..2 {
@@ -48,12 +48,21 @@ fn main() {
     let hardware_batches: usize =
         batches.iter().map(|batch| batch.len().div_ceil(engine.config().batch_capacity)).sum();
 
+    // Honest parallelism reporting: thread counts above the host's core
+    // count cannot speed anything up — measuring them would just report
+    // scheduler noise as "scaling". Measure only what the host can run.
+    let host_cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let threads_measured: Vec<usize> =
+        THREAD_LADDER.iter().copied().filter(|&threads| threads <= host_cores.max(1)).collect();
+    let threads_skipped: Vec<usize> =
+        THREAD_LADDER.iter().copied().filter(|&threads| threads > host_cores.max(1)).collect();
+
     let sequential_ns = measure(|| {
         black_box(engine.lookup_stream(&batches, &source).expect("sequential stream"));
     });
 
     let mut driver_ns = Vec::new();
-    for threads in THREADS {
+    for &threads in &threads_measured {
         let driver = ParallelBatchDriver::new(threads);
         driver_ns.push(measure(|| {
             black_box(driver.lookup_stream(&engine, &batches, &source).expect("driver stream"));
@@ -61,11 +70,12 @@ fn main() {
     }
 
     // Sanity: the driver's results are thread-count-invariant (the full
-    // check lives in tests/determinism.rs).
+    // check lives in tests/determinism.rs). Oversubscribed counts are still
+    // checked for determinism — just not timed.
     let reference = ParallelBatchDriver::new(1)
         .lookup_stream(&engine, &batches, &source)
         .expect("driver stream");
-    for threads in THREADS {
+    for threads in THREAD_LADDER {
         let result = ParallelBatchDriver::new(threads)
             .lookup_stream(&engine, &batches, &source)
             .expect("driver stream");
@@ -77,7 +87,7 @@ fn main() {
         format!("{:.2} ms", sequential_ns / 1e6),
         times(1.0),
     ]];
-    for (threads, ns) in THREADS.iter().zip(&driver_ns) {
+    for (threads, ns) in threads_measured.iter().zip(&driver_ns) {
         rows.push(vec![
             format!("parallel driver ({threads} threads)"),
             format!("{:.2} ms", ns / 1e6),
@@ -89,9 +99,14 @@ fn main() {
         "\n{SOFTWARE_BATCHES} software batches x {QUERIES_PER_BATCH} queries \
          = {hardware_batches} hardware batches; {SAMPLES} samples each"
     );
+    if !threads_skipped.is_empty() {
+        println!(
+            "host has {host_cores} core(s): thread counts {threads_skipped:?} not timed \
+             (oversubscribed, determinism still checked)"
+        );
+    }
 
-    let host_cores = std::thread::available_parallelism().map_or(0, usize::from);
-    let driver_json: Vec<String> = THREADS
+    let driver_json: Vec<String> = threads_measured
         .iter()
         .zip(&driver_ns)
         .map(|(threads, ns)| {
@@ -102,13 +117,19 @@ fn main() {
             )
         })
         .collect();
+    let skipped_json: Vec<String> =
+        threads_skipped.iter().map(std::string::ToString::to_string).collect();
     let json = format!(
         "{{\n  \"bench\": \"parallel_driver\",\n  \"software_batches\": {SOFTWARE_BATCHES},\n  \
          \"queries_per_batch\": {QUERIES_PER_BATCH},\n  \
          \"hardware_batches\": {hardware_batches},\n  \"samples\": {SAMPLES},\n  \
          \"host_cores\": {host_cores},\n  \
+         \"caveat\": \"thread counts above host_cores are not timed: an oversubscribed \
+         driver measures scheduler noise, not scaling\",\n  \
+         \"threads_skipped_oversubscribed\": [{}],\n  \
          \"sequential_lookup_stream_wall_ns\": {sequential_ns:.0},\n  \
          \"parallel_driver\": [\n{}\n  ]\n}}\n",
+        skipped_json.join(", "),
         driver_json.join(",\n")
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel_driver.json");

@@ -422,6 +422,7 @@ impl GatherEngine for FafnirEngine {
             TreeBackend::EventTimed => self.tree.run(inputs),
             TreeBackend::CycleStepped { fifo_capacity } => {
                 let cycle = CycleTree::new(&self.tree, fifo_capacity)
+                    .map_err(|e| FafnirError::InvalidConfig(e.to_string()))?
                     .run(inputs)
                     .map_err(|e| FafnirError::InvalidConfig(e.to_string()))?;
                 TreeRun {

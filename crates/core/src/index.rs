@@ -54,10 +54,70 @@ impl std::fmt::Display for QueryId {
     }
 }
 
+/// Indices a set can hold without a heap allocation.
+///
+/// Sized for the paper's workloads: a query holds at most ~16 indices and
+/// most in-flight headers carry far fewer, so the bulk of header traffic
+/// through the tree never allocates.
+const INLINE_CAP: usize = 8;
+
+/// Storage of an [`IndexSet`]: a fixed in-struct buffer for the common small
+/// sets, a heap vector beyond [`INLINE_CAP`]. Both variants keep the
+/// elements sorted and duplicate-free; equality and hashing are on the
+/// logical contents, never the representation.
+#[derive(Clone)]
+enum Repr {
+    Inline { len: u8, buf: [VectorIndex; INLINE_CAP] },
+    Heap(Vec<VectorIndex>),
+}
+
+/// Accumulates ascending, duplicate-free pushes into an inline buffer,
+/// spilling to the heap only past [`INLINE_CAP`].
+struct SetBuilder {
+    len: usize,
+    buf: [VectorIndex; INLINE_CAP],
+    spill: Vec<VectorIndex>,
+}
+
+impl SetBuilder {
+    fn with_capacity(capacity: usize) -> Self {
+        Self {
+            len: 0,
+            buf: [VectorIndex(0); INLINE_CAP],
+            spill: if capacity > INLINE_CAP { Vec::with_capacity(capacity) } else { Vec::new() },
+        }
+    }
+
+    fn push(&mut self, index: VectorIndex) {
+        if self.spill.is_empty() && self.len < INLINE_CAP {
+            self.buf[self.len] = index;
+            self.len += 1;
+        } else {
+            if self.spill.is_empty() {
+                self.spill.extend_from_slice(&self.buf[..self.len]);
+            }
+            self.spill.push(index);
+        }
+    }
+
+    fn finish(self) -> IndexSet {
+        if self.spill.is_empty() {
+            IndexSet(Repr::Inline { len: self.len as u8, buf: self.buf })
+        } else {
+            IndexSet(Repr::Heap(self.spill))
+        }
+    }
+}
+
 /// A sorted, duplicate-free set of [`VectorIndex`] values.
 ///
-/// Headers are small (a query holds at most ~16 indices), so a sorted vector
-/// beats hash sets and mirrors the fixed-width bit fields of the hardware.
+/// Headers are small (a query holds at most ~16 indices), so a sorted
+/// sequence beats hash sets and mirrors the fixed-width bit fields of the
+/// hardware. Sets of up to [`INLINE_CAP`] indices are stored inline — no
+/// heap allocation — which covers the overwhelming majority of headers the
+/// tree moves; larger sets spill to a heap vector transparently. Two sets
+/// with the same contents are equal and hash identically regardless of
+/// which representation they use.
 ///
 /// # Examples
 ///
@@ -69,8 +129,8 @@ impl std::fmt::Display for QueryId {
 /// assert!(reduced.is_subset_of(&query));
 /// assert_eq!(query.difference(&reduced), indexset![5]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
-pub struct IndexSet(Vec<VectorIndex>);
+#[derive(Clone, Serialize, Deserialize)]
+pub struct IndexSet(Repr);
 
 impl IndexSet {
     /// The empty set.
@@ -82,34 +142,73 @@ impl IndexSet {
     /// A singleton set.
     #[must_use]
     pub fn singleton(index: VectorIndex) -> Self {
-        Self(vec![index])
+        let mut buf = [VectorIndex(0); INLINE_CAP];
+        buf[0] = index;
+        Self(Repr::Inline { len: 1, buf })
+    }
+
+    /// Wraps an already-sorted, duplicate-free vector, inlining small ones.
+    fn from_sorted_vec(items: Vec<VectorIndex>) -> Self {
+        if items.len() <= INLINE_CAP {
+            let mut buf = [VectorIndex(0); INLINE_CAP];
+            buf[..items.len()].copy_from_slice(&items);
+            Self(Repr::Inline { len: items.len() as u8, buf })
+        } else {
+            Self(Repr::Heap(items))
+        }
     }
 
     /// Builds a set from any iterator, sorting and deduplicating.
     #[must_use]
     pub fn from_iter_dedup<I: IntoIterator<Item = VectorIndex>>(iter: I) -> Self {
-        let mut items: Vec<VectorIndex> = iter.into_iter().collect();
-        items.sort_unstable();
-        items.dedup();
-        Self(items)
+        let mut buf = [VectorIndex(0); INLINE_CAP];
+        let mut len = 0usize;
+        let mut iter = iter.into_iter();
+        for index in iter.by_ref() {
+            if len == INLINE_CAP {
+                // Overflowed the inline buffer: fall back to the heap path
+                // for the rest (dedup below may still shrink it back).
+                let mut items: Vec<VectorIndex> = Vec::with_capacity(2 * INLINE_CAP);
+                items.extend_from_slice(&buf);
+                items.push(index);
+                items.extend(iter);
+                items.sort_unstable();
+                items.dedup();
+                return Self::from_sorted_vec(items);
+            }
+            buf[len] = index;
+            len += 1;
+        }
+        buf[..len].sort_unstable();
+        let mut write = 0usize;
+        for read in 0..len {
+            if write == 0 || buf[write - 1] != buf[read] {
+                buf[write] = buf[read];
+                write += 1;
+            }
+        }
+        Self(Repr::Inline { len: write as u8, buf })
     }
 
     /// Number of indices in the set.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.0.len()
+        match &self.0 {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Heap(items) => items.len(),
+        }
     }
 
     /// True when the set has no elements.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.len() == 0
     }
 
     /// Membership test (binary search).
     #[must_use]
     pub fn contains(&self, index: VectorIndex) -> bool {
-        self.0.binary_search(&index).is_ok()
+        self.as_slice().binary_search(&index).is_ok()
     }
 
     /// True when every element of `self` is in `other`.
@@ -118,16 +217,17 @@ impl IndexSet {
     /// contains all elements of A\[i\].indices" (Sec. IV-B).
     #[must_use]
     pub fn is_subset_of(&self, other: &IndexSet) -> bool {
-        self.0.iter().all(|index| other.contains(*index))
+        self.iter().all(|index| other.contains(index))
     }
 
     /// True when the sets share no element.
     #[must_use]
     pub fn is_disjoint_from(&self, other: &IndexSet) -> bool {
-        // Merge-walk over the two sorted vectors.
+        // Merge-walk over the two sorted sequences.
+        let (a, b) = (self.as_slice(), other.as_slice());
         let (mut i, mut j) = (0, 0);
-        while i < self.0.len() && j < other.0.len() {
-            match self.0[i].cmp(&other.0[j]) {
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
                 std::cmp::Ordering::Less => i += 1,
                 std::cmp::Ordering::Greater => j += 1,
                 std::cmp::Ordering::Equal => return false,
@@ -136,32 +236,63 @@ impl IndexSet {
         true
     }
 
-    /// Set union.
+    /// Set union (merge-walk; stays inline when the result fits).
     #[must_use]
     pub fn union(&self, other: &IndexSet) -> IndexSet {
-        let mut merged = Vec::with_capacity(self.0.len() + other.0.len());
-        merged.extend_from_slice(&self.0);
-        merged.extend_from_slice(&other.0);
-        merged.sort_unstable();
-        merged.dedup();
-        IndexSet(merged)
+        let (a, b) = (self.as_slice(), other.as_slice());
+        let mut out = SetBuilder::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        for &index in &a[i..] {
+            out.push(index);
+        }
+        for &index in &b[j..] {
+            out.push(index);
+        }
+        out.finish()
     }
 
-    /// Set difference `self \ other`.
+    /// Set difference `self \ other` (merge-walk; stays inline when the
+    /// result fits).
     #[must_use]
     pub fn difference(&self, other: &IndexSet) -> IndexSet {
-        IndexSet(self.0.iter().copied().filter(|index| !other.contains(*index)).collect())
+        let mut out = SetBuilder::with_capacity(self.len());
+        for index in self.iter() {
+            if !other.contains(index) {
+                out.push(index);
+            }
+        }
+        out.finish()
     }
 
     /// Iterates over the indices in ascending order.
     pub fn iter(&self) -> std::iter::Copied<std::slice::Iter<'_, VectorIndex>> {
-        self.0.iter().copied()
+        self.as_slice().iter().copied()
     }
 
     /// Borrow the sorted contents.
     #[must_use]
     pub fn as_slice(&self) -> &[VectorIndex] {
-        &self.0
+        match &self.0 {
+            Repr::Inline { len, buf } => &buf[..*len as usize],
+            Repr::Heap(items) => items,
+        }
     }
 
     /// Bits needed to encode one index for `universe` distinct vectors (the
@@ -169,6 +300,34 @@ impl IndexSet {
     #[must_use]
     pub fn bits_per_index(universe: usize) -> u32 {
         usize::BITS - universe.next_power_of_two().leading_zeros() - 1
+    }
+}
+
+impl Default for IndexSet {
+    fn default() -> Self {
+        Self(Repr::Inline { len: 0, buf: [VectorIndex(0); INLINE_CAP] })
+    }
+}
+
+// Equality, hashing and debug formatting are all on the logical contents:
+// an inline set and a heap set holding the same indices are the same set.
+impl PartialEq for IndexSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for IndexSet {}
+
+impl std::hash::Hash for IndexSet {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl std::fmt::Debug for IndexSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("IndexSet").field(&self.as_slice()).finish()
     }
 }
 
@@ -190,7 +349,7 @@ impl<'a> IntoIterator for &'a IndexSet {
 impl std::fmt::Display for IndexSet {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{{")?;
-        for (pos, index) in self.0.iter().enumerate() {
+        for (pos, index) in self.as_slice().iter().enumerate() {
             if pos > 0 {
                 write!(f, ",")?;
             }
@@ -261,6 +420,40 @@ mod tests {
         assert_eq!(IndexSet::bits_per_index(32), 5);
         assert_eq!(IndexSet::bits_per_index(33), 6);
         assert_eq!(IndexSet::bits_per_index(2), 1);
+    }
+
+    #[test]
+    fn inline_and_heap_representations_are_interchangeable() {
+        // Nine elements spill to the heap; dropping one brings the result
+        // back inline. Logical equality and hashing must not see the move.
+        let big = IndexSet::from_iter_dedup((0..9).map(VectorIndex));
+        assert_eq!(big.len(), 9);
+        let trimmed = big.difference(&indexset![8]);
+        assert_eq!(trimmed, IndexSet::from_iter_dedup((0..8).map(VectorIndex)));
+        let rejoined = trimmed.union(&indexset![8]);
+        assert_eq!(rejoined, big);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let hash = |set: &IndexSet| {
+            let mut hasher = DefaultHasher::new();
+            set.hash(&mut hasher);
+            hasher.finish()
+        };
+        assert_eq!(hash(&rejoined), hash(&big));
+    }
+
+    #[test]
+    fn small_sets_do_not_allocate() {
+        // Unions and differences that fit in the inline buffer stay inline.
+        let a = IndexSet::from_iter_dedup((0..4).map(VectorIndex));
+        let b = IndexSet::from_iter_dedup((4..8).map(VectorIndex));
+        let u = a.union(&b);
+        assert!(matches!(u.0, Repr::Inline { .. }));
+        assert!(matches!(a.difference(&b).0, Repr::Inline { .. }));
+        // One past the inline capacity spills.
+        let spilled = u.union(&indexset![100]);
+        assert!(matches!(spilled.0, Repr::Heap(_)));
+        assert_eq!(spilled.len(), 9);
     }
 
     #[test]

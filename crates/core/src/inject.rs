@@ -84,7 +84,10 @@ pub fn build_rank_inputs(
                 ready = ready.max(vector.ready_ns) + timing.reduce_latency_ns();
             }
             let item = Item {
-                header: Header { indices, queries: vec![PendingQuery::new(query.id, remaining)] },
+                header: std::sync::Arc::new(Header {
+                    indices,
+                    queries: vec![PendingQuery::new(query.id, remaining)],
+                }),
                 value,
                 ready_ns: ready,
             };
@@ -103,7 +106,7 @@ pub fn build_rank_inputs(
             continue;
         }
         let item = Item {
-            header: Header { indices: IndexSet::singleton(index), queries },
+            header: std::sync::Arc::new(Header { indices: IndexSet::singleton(index), queries }),
             value: vector.value.clone(),
             ready_ns: vector.ready_ns,
         };

@@ -12,6 +12,8 @@
 //! the `indices` field; at the root the remaining set is empty and the
 //! `indices` field names the complete query.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use crate::index::{IndexSet, QueryId};
@@ -95,10 +97,16 @@ impl std::fmt::Display for Header {
 }
 
 /// A value travelling through the tree with its header.
+///
+/// The header sits behind an [`Arc`]: forwarding an item through a PE level
+/// or fanning one out to several outputs shares the header instead of
+/// deep-cloning its index sets, and the rare in-place edits (the merge
+/// unit) copy-on-write via [`Arc::make_mut`]. Equality still compares the
+/// header contents, not the pointer.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Item {
-    /// Routing and reduction metadata.
-    pub header: Header,
+    /// Routing and reduction metadata (shared; copy-on-write when edited).
+    pub header: Arc<Header>,
     /// The (partially) reduced vector.
     pub value: Vec<f32>,
     /// Nanosecond timestamp at which this item became available (memory
@@ -110,7 +118,7 @@ impl Item {
     /// An item available at time zero.
     #[must_use]
     pub fn new(header: Header, value: Vec<f32>) -> Self {
-        Self { header, value, ready_ns: 0.0 }
+        Self { header: Arc::new(header), value, ready_ns: 0.0 }
     }
 
     /// Sets the availability timestamp.

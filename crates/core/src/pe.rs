@@ -13,6 +13,8 @@
 //! outputs that carry the same value — which is what bounds a PE's output
 //! count by the batch size (Table I).
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use crate::item::{Header, Item, PendingQuery};
@@ -132,7 +134,10 @@ impl ProcessingElement {
         let value = self.op.combine(&x.value, &y.value);
         let ready = x.ready_ns.max(y.ready_ns) + self.timing.reduce_latency_ns();
         Item {
-            header: Header { indices, queries: vec![PendingQuery::new(query, remaining)] },
+            header: Arc::new(Header {
+                indices,
+                queries: vec![PendingQuery::new(query, remaining)],
+            }),
             value,
             ready_ns: ready,
         }
@@ -140,8 +145,19 @@ impl ProcessingElement {
 
     /// Passes an item through for one unmatched query entry.
     fn forward_item(&self, item: &Item, pending: &PendingQuery) -> Item {
+        // Forwarding an item whose header already is exactly this one entry
+        // (the common case above the leaf level) shares the header instead
+        // of rebuilding it.
+        let header = if item.header.queries.len() == 1 && item.header.queries[0] == *pending {
+            Arc::clone(&item.header)
+        } else {
+            Arc::new(Header {
+                indices: item.header.indices.clone(),
+                queries: vec![pending.clone()],
+            })
+        };
         Item {
-            header: Header { indices: item.header.indices.clone(), queries: vec![pending.clone()] },
+            header,
             value: item.value.clone(),
             ready_ns: item.ready_ns + self.timing.forward_latency_ns(),
         }
@@ -162,13 +178,19 @@ impl ProcessingElement {
                     "merge unit saw differing values for identical indices"
                 );
                 existing.ready_ns = existing.ready_ns.max(item.ready_ns);
-                for pending in item.header.queries {
+                let queries = match Arc::try_unwrap(item.header) {
+                    Ok(header) => header.queries,
+                    Err(shared) => shared.queries.clone(),
+                };
+                for pending in queries {
                     match existing.header.queries.iter().find(|p| p.query == pending.query) {
                         Some(present) => debug_assert_eq!(
                             present.remaining, pending.remaining,
                             "conflicting remaining sets for one query"
                         ),
-                        None => existing.header.queries.push(pending),
+                        // Copy-on-write: only folding a new query entry into
+                        // a (possibly shared) header forces a header copy.
+                        None => Arc::make_mut(&mut existing.header).queries.push(pending),
                     }
                 }
             } else {

@@ -187,27 +187,30 @@ impl ReductionTree {
         let mut stats = TreeStats { levels: self.levels(), ..TreeStats::default() };
 
         // Leaf level: each PE joins the streams of its ranks, split into the
-        // two PE inputs.
-        let mut level: Vec<Vec<Item>> = rank_inputs
-            .chunks(self.config.ranks_per_leaf)
-            .enumerate()
-            .map(|(index, ranks)| {
-                let half = ranks.len().div_ceil(2);
-                let a: Vec<Item> = ranks[..half].iter().flatten().cloned().collect();
-                let b: Vec<Item> = ranks[half..].iter().flatten().cloned().collect();
-                self.fire_pe(&pe, a, b, &mut stats, 0, index, trace.as_deref_mut())
-            })
-            .collect();
+        // two PE inputs. Levels are consumed by value — items move up the
+        // tree, they are never copied.
+        let half = self.config.ranks_per_leaf.div_ceil(2);
+        let mut level: Vec<Vec<Item>> = Vec::with_capacity(self.leaf_count);
+        let mut ranks_iter = rank_inputs.into_iter();
+        for index in 0..self.leaf_count {
+            let a: Vec<Item> = ranks_iter.by_ref().take(half).flatten().collect();
+            let b: Vec<Item> =
+                ranks_iter.by_ref().take(self.config.ranks_per_leaf - half).flatten().collect();
+            level.push(self.fire_pe(&pe, a, b, &mut stats, 0, index, trace.as_deref_mut()));
+        }
         stats.per_level_outputs.push(level.iter().map(Vec::len).sum());
 
         // Internal levels: pair up child outputs.
         let mut depth = 1;
         while level.len() > 1 {
             let mut next = Vec::with_capacity(level.len() / 2);
-            for (index, pair) in level.chunks(2).enumerate() {
-                let a = self.after_link(pair[0].clone());
-                let b = self.after_link(pair.get(1).cloned().unwrap_or_default());
+            let mut children = level.into_iter();
+            let mut index = 0;
+            while let Some(first) = children.next() {
+                let a = self.after_link(first);
+                let b = self.after_link(children.next().unwrap_or_default());
                 next.push(self.fire_pe(&pe, a, b, &mut stats, depth, index, trace.as_deref_mut()));
+                index += 1;
             }
             stats.per_level_outputs.push(next.iter().map(Vec::len).sum());
             level = next;

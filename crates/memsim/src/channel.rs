@@ -39,6 +39,16 @@ impl DataBus {
         at
     }
 
+    /// Absolute earliest cycle at which `rank` could start any data burst,
+    /// given the current reservation: [`DataBus::ready`] with no lower
+    /// bound. Used by the controller's next-event calculation — an existing
+    /// reservation (plus a rank-switch bubble) is what bounds how far the
+    /// clock may jump before a held column command becomes legal.
+    #[must_use]
+    pub fn earliest_start(&self, rank: usize, timing: &Timing) -> Cycle {
+        self.ready(0, rank, timing)
+    }
+
     /// Reserves the bus for `rank` from `at` for `duration` cycles.
     ///
     /// # Panics

@@ -14,9 +14,27 @@
 //! Data beats of reads and writes reserve the shared [`DataBus`], which is
 //! what serializes rank-parallel accesses on one channel.
 //!
-//! Simplifications (documented in DESIGN.md): refresh is not modelled, and
-//! under the closed-page policy the precharge after the last burst to a row
-//! does not consume a command-bus slot.
+//! Bursts are queued **per bank** (in arrival order), so the FR-FCFS scan is
+//! O(banks-with-work) per cycle rather than O(window): row-hit candidates are
+//! found by checking each active bank's open row against its own queue, and
+//! ACT/PRE candidates are always queue fronts. The bounded transaction window
+//! ([`SCHED_WINDOW`]) is preserved by computing the window's limiting
+//! sequence number — the `SCHED_WINDOW`-th oldest queued burst — and hiding
+//! anything younger from the scan, which is exactly the set the previous
+//! single-queue `take(SCHED_WINDOW)` scan considered.
+//!
+//! The controller also knows how to report the earliest future cycle at
+//! which *anything* observable could happen ([`ChannelController::
+//! next_event_cycle`]), which is what lets [`crate::MemorySystem`]
+//! fast-forward the clock over idle gaps without changing a single issue
+//! cycle (see DESIGN.md, "Time advance").
+//!
+//! Simplifications (documented in DESIGN.md): under the closed-page policy
+//! the precharge after the last burst to a row does not consume a
+//! command-bus slot.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use serde::{Deserialize, Serialize};
 
@@ -82,7 +100,15 @@ pub struct ChannelController {
     /// Shared channel bus (one entry), or one bus per rank when the
     /// configuration enables the NDP data path.
     buses: Vec<DataBus>,
-    queue: Vec<(BurstJob, BurstProgress)>,
+    /// Per-bank burst queues in submission (seq) order, indexed
+    /// `rank * banks_per_rank + flat_bank`.
+    bank_queues: Vec<Vec<(BurstJob, BurstProgress)>>,
+    /// Indices of non-empty entries in `bank_queues` (unordered).
+    busy_banks: Vec<usize>,
+    /// Total queued bursts across all banks.
+    queued: usize,
+    /// Banks per rank, cached for queue indexing.
+    banks_per_rank: usize,
     stats: MemoryStats,
     /// Per-rank cycle of the next due refresh (staggered across ranks).
     next_refresh: Vec<Cycle>,
@@ -110,6 +136,7 @@ impl ChannelController {
             (0..config.topology.ranks_per_channel()).map(|_| Rank::new(&config.topology)).collect();
         let bus_count = if config.ndp_data_path { ranks.len() } else { 1 };
         let rank_count = ranks.len();
+        let banks_per_rank = config.topology.banks_per_rank();
         // Stagger refreshes so ranks do not all block at once.
         let next_refresh = (0..rank_count)
             .map(|r| (r as Cycle + 1) * config.timing.tREFI / rank_count.max(1) as Cycle)
@@ -118,7 +145,10 @@ impl ChannelController {
             config,
             ranks,
             buses: vec![DataBus::new(); bus_count],
-            queue: Vec::new(),
+            bank_queues: vec![Vec::new(); rank_count * banks_per_rank],
+            busy_banks: Vec::new(),
+            queued: 0,
+            banks_per_rank,
             stats: MemoryStats::new(),
             next_refresh,
             refresh_until: vec![0; rank_count],
@@ -165,22 +195,50 @@ impl ChannelController {
         }
     }
 
-    /// Adds a burst to the queue.
+    /// Index into `bank_queues` for (`rank`, `flat_bank`).
+    fn queue_index(&self, rank: usize, flat_bank: usize) -> usize {
+        rank * self.banks_per_rank + flat_bank
+    }
+
+    /// Adds a burst to its bank's queue. Bursts must be enqueued in
+    /// increasing `seq` order (the system's global submission order).
     pub fn enqueue(&mut self, job: BurstJob) {
-        self.queue.push((job, BurstProgress::default()));
-        self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.queue.len() as u64);
+        let qi = self.queue_index(job.location.rank, job.location.flat_bank(&self.config.topology));
+        let queue = &mut self.bank_queues[qi];
+        debug_assert!(
+            queue.last().is_none_or(|(last, _)| last.seq < job.seq),
+            "bursts must arrive in seq order"
+        );
+        if queue.is_empty() {
+            self.busy_banks.push(qi);
+        }
+        queue.push((job, BurstProgress::default()));
+        self.queued += 1;
+        self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.queued as u64);
+    }
+
+    /// Removes the burst at `pos` of bank queue `qi`, maintaining the busy
+    /// set and total count.
+    fn remove_job(&mut self, qi: usize, pos: usize) -> (BurstJob, BurstProgress) {
+        let entry = self.bank_queues[qi].remove(pos);
+        self.queued -= 1;
+        if self.bank_queues[qi].is_empty() {
+            let at = self.busy_banks.iter().position(|&b| b == qi).expect("busy bank tracked");
+            self.busy_banks.swap_remove(at);
+        }
+        entry
     }
 
     /// True when no bursts are waiting.
     #[must_use]
     pub fn is_idle(&self) -> bool {
-        self.queue.is_empty()
+        self.queued == 0
     }
 
     /// Number of queued bursts.
     #[must_use]
     pub fn queue_len(&self) -> usize {
-        self.queue.len()
+        self.queued
     }
 
     /// Counters accumulated so far.
@@ -194,6 +252,54 @@ impl ChannelController {
     #[must_use]
     pub fn buses(&self) -> &[DataBus] {
         &self.buses
+    }
+
+    /// The largest `seq` inside the scheduling window: bursts younger than
+    /// this are invisible to the scheduler this cycle.
+    ///
+    /// The window holds the `SCHED_WINDOW` globally-oldest queued bursts.
+    /// Each bank queue is seq-sorted, so a k-way merge over queue fronts
+    /// finds the window's limiting seq in O(window · log banks) — and only
+    /// when the controller is actually backlogged.
+    fn window_limit_seq(&self) -> u64 {
+        if self.queued <= SCHED_WINDOW {
+            return u64::MAX;
+        }
+        let mut heads: BinaryHeap<Reverse<(u64, usize, usize)>> = self
+            .busy_banks
+            .iter()
+            .map(|&qi| Reverse((self.bank_queues[qi][0].0.seq, qi, 0)))
+            .collect();
+        let mut limit = 0;
+        for _ in 0..SCHED_WINDOW {
+            let Some(Reverse((seq, qi, pos))) = heads.pop() else { break };
+            limit = seq;
+            if let Some((next, _)) = self.bank_queues[qi].get(pos + 1) {
+                heads.push(Reverse((next.seq, qi, pos + 1)));
+            }
+        }
+        limit
+    }
+
+    /// Under strict FCFS only the oldest *arrived* burst may issue; returns
+    /// its seq (None means no restriction / nothing arrived).
+    fn fcfs_only_seq(&self, now: Cycle) -> Option<u64> {
+        if self.config.scheduler != SchedulerPolicy::Fcfs {
+            return None;
+        }
+        let mut best: Option<u64> = None;
+        for &qi in &self.busy_banks {
+            for (job, _) in &self.bank_queues[qi] {
+                if best.is_some_and(|b| job.seq >= b) {
+                    break; // seq-sorted: nothing older further in
+                }
+                if job.arrival <= now {
+                    best = Some(job.seq);
+                    break;
+                }
+            }
+        }
+        best
     }
 
     /// Advances one command-clock cycle, issuing at most one command.
@@ -251,7 +357,6 @@ impl ChannelController {
     /// auto-precharge — see the module docs).
     fn service_adaptive_closes(&mut self, now: Cycle, timeout: u64) {
         let timing = self.config.timing;
-        let topology = self.config.topology;
         for rank_index in 0..self.ranks.len() {
             for flat in 0..self.ranks[rank_index].bank_count() {
                 let bank = self.ranks[rank_index].bank(flat);
@@ -260,11 +365,9 @@ impl ChannelController {
                 if now < bank.pre_ready(0).saturating_add(timeout) {
                     continue;
                 }
-                let wanted = self.queue.iter().any(|(job, _)| {
-                    job.location.rank == rank_index
-                        && job.location.flat_bank(&topology) == flat
-                        && job.location.row == open_row
-                });
+                let qi = self.queue_index(rank_index, flat);
+                let wanted =
+                    self.bank_queues[qi].iter().any(|(job, _)| job.location.row == open_row);
                 if wanted {
                     continue;
                 }
@@ -281,78 +384,143 @@ impl ChannelController {
         self.config.refresh && now < self.refresh_until[rank]
     }
 
-    /// The earliest cycle at which any queued burst could possibly make
-    /// progress, used by the system to fast-forward idle gaps.
+    /// The earliest cycle `>= now` at which this controller could do
+    /// anything observable: issue a command for a queued burst, fire a
+    /// refresh, or speculatively close a row under the adaptive policy.
+    ///
+    /// Used by [`crate::MemorySystem::run_until_idle`] to fast-forward the
+    /// clock over dead cycles. The bound is *conservative-early* (the
+    /// controller may land and still find nothing legal, e.g. under FCFS
+    /// ordering or command-bus contention, and jump again) but never late:
+    /// every term is exact while device state is static, and any state
+    /// change before the reported cycle is itself an earlier event. See
+    /// DESIGN.md, "Time advance".
     #[must_use]
-    pub fn next_interesting_cycle(&self, now: Cycle) -> Option<Cycle> {
-        let timing = &self.config.timing;
-        self.queue
-            .iter()
-            .take(SCHED_WINDOW)
-            .map(|(job, _)| {
-                let rank = &self.ranks[job.location.rank];
-                let bank = rank.bank(job.location.flat_bank(&self.config.topology));
-                let flat = job.location.flat_bank(&self.config.topology);
+    pub fn next_event_cycle(&self, now: Cycle) -> Option<Cycle> {
+        let timing = self.config.timing;
+        let mut best = Cycle::MAX;
+        // (1) Queued bursts inside the scheduling window. Row hits can issue
+        // from any queue position (FR-FCFS bypass); ACT/PRE only ever go to
+        // the head of a bank queue, so a blocked non-head burst's progress
+        // is bounded by its head's event and needs no term of its own.
+        let limit = self.window_limit_seq();
+        for &qi in &self.busy_banks {
+            let rank_index = qi / self.banks_per_rank;
+            let flat = qi % self.banks_per_rank;
+            let rank = &self.ranks[rank_index];
+            let bank = rank.bank(flat);
+            let refresh_floor =
+                if self.config.refresh { self.refresh_until[rank_index] } else { 0 };
+            for (pos, (job, _)) in self.bank_queues[qi].iter().enumerate() {
+                if job.seq > limit {
+                    break;
+                }
                 let device_ready = match bank.outcome_for(job.location.row) {
                     RowOutcome::Hit => {
-                        bank.column_ready(now).max(rank.column_ready(now, flat, timing))
+                        // The column command must issue exactly tCL/tCWL
+                        // before its data phase can start on the bus, so an
+                        // existing bus reservation bounds the issue cycle.
+                        let bus = &self.buses[self.bus_index(rank_index)];
+                        let data_latency = match job.kind {
+                            AccessKind::Read => timing.tCL,
+                            AccessKind::Write => timing.tCWL,
+                        };
+                        let bus_floor =
+                            bus.earliest_start(rank_index, &timing).saturating_sub(data_latency);
+                        bank.column_ready(now)
+                            .max(rank.column_ready(now, flat, &timing))
+                            .max(bus_floor)
                     }
-                    RowOutcome::Miss => bank.act_ready(now).max(rank.act_ready(now, flat, timing)),
-                    RowOutcome::Conflict => bank.pre_ready(now),
+                    RowOutcome::Miss if pos == 0 => {
+                        bank.act_ready(now).max(rank.act_ready(now, flat, &timing))
+                    }
+                    RowOutcome::Conflict if pos == 0 => bank.pre_ready(now),
+                    _ => continue, // blocked behind this bank's head
                 };
-                let device_ready = if self.rank_refreshing(job.location.rank, now) {
-                    device_ready.max(self.refresh_until[job.location.rank])
-                } else {
-                    device_ready
-                };
-                device_ready.max(job.arrival)
-            })
-            .min()
-    }
-
-    /// Under strict FCFS only the oldest arrived burst may issue.
-    fn fcfs_blocks(&self, pos: usize, now: Cycle) -> bool {
-        self.config.scheduler == SchedulerPolicy::Fcfs
-            && self.queue.iter().take(pos).any(|(older, _)| older.arrival <= now)
+                best = best.min(device_ready.max(job.arrival).max(refresh_floor).max(now));
+            }
+        }
+        // (2) Refresh fire times: a refresh is observable (Ref record, rank
+        // blocked for tRFC) even when no burst is queued, and it is held
+        // behind the latest open row's precharge horizon.
+        if self.config.refresh {
+            for rank_index in 0..self.ranks.len() {
+                let rank = &self.ranks[rank_index];
+                let mut fire =
+                    self.next_refresh[rank_index].max(self.refresh_until[rank_index]).max(now);
+                for flat in 0..rank.bank_count() {
+                    let bank = rank.bank(flat);
+                    if matches!(bank.state(), crate::bank::BankState::Active(_)) {
+                        fire = fire.max(bank.pre_ready(now));
+                    }
+                }
+                best = best.min(fire);
+            }
+        }
+        // (3) Adaptive speculative closes of unwanted open rows.
+        if let PagePolicy::Adaptive { timeout } = self.config.page_policy {
+            for rank_index in 0..self.ranks.len() {
+                for flat in 0..self.ranks[rank_index].bank_count() {
+                    let bank = self.ranks[rank_index].bank(flat);
+                    let crate::bank::BankState::Active(open_row) = bank.state() else { continue };
+                    let qi = self.queue_index(rank_index, flat);
+                    if self.bank_queues[qi].iter().any(|(job, _)| job.location.row == open_row) {
+                        continue;
+                    }
+                    best = best.min(bank.pre_ready(0).saturating_add(timeout).max(now));
+                }
+            }
+        }
+        (best != Cycle::MAX).then_some(best)
     }
 
     /// Attempts to issue a RD/WR for the oldest ready row-hit burst.
     fn try_issue_column(&mut self, now: Cycle, out: &mut Vec<BurstResult>) -> bool {
         let timing = self.config.timing;
         let topology = self.config.topology;
-        let mut best: Option<(usize, u64)> = None;
-        for (pos, (job, _)) in self.queue.iter().take(SCHED_WINDOW).enumerate() {
-            if job.arrival > now
-                || self.rank_refreshing(job.location.rank, now)
-                || self.fcfs_blocks(pos, now)
-            {
+        let limit = self.window_limit_seq();
+        let fcfs_only = self.fcfs_only_seq(now);
+        let mut best: Option<(usize, usize, u64)> = None;
+        for &qi in &self.busy_banks {
+            let rank_index = qi / self.banks_per_rank;
+            let flat = qi % self.banks_per_rank;
+            if self.rank_refreshing(rank_index, now) {
                 continue;
             }
-            let rank = &self.ranks[job.location.rank];
-            let flat = job.location.flat_bank(&topology);
+            let rank = &self.ranks[rank_index];
             let bank = rank.bank(flat);
-            if bank.outcome_for(job.location.row) != RowOutcome::Hit {
-                continue;
-            }
+            let crate::bank::BankState::Active(open_row) = bank.state() else { continue };
             if bank.column_ready(now) > now || rank.column_ready(now, flat, &timing) > now {
                 continue;
             }
-            // The data phase must start exactly when the device produces it;
-            // if the bus is busy then, hold the command.
-            let data_start = match job.kind {
-                AccessKind::Read => now + timing.tCL,
-                AccessKind::Write => now + timing.tCWL,
-            };
-            let bus = &self.buses[self.bus_index(job.location.rank)];
-            if bus.ready(data_start, job.location.rank, &timing) != data_start {
-                continue;
-            }
-            if best.is_none_or(|(_, seq)| job.seq < seq) {
-                best = Some((pos, job.seq));
+            for (pos, (job, _)) in self.bank_queues[qi].iter().enumerate() {
+                if job.seq > limit {
+                    break;
+                }
+                if job.arrival > now
+                    || job.location.row != open_row
+                    || fcfs_only.is_some_and(|only| job.seq != only)
+                {
+                    continue;
+                }
+                // The data phase must start exactly when the device produces
+                // it; if the bus is busy then, hold the command.
+                let data_start = match job.kind {
+                    AccessKind::Read => now + timing.tCL,
+                    AccessKind::Write => now + timing.tCWL,
+                };
+                let bus = &self.buses[self.bus_index(rank_index)];
+                if bus.ready(data_start, rank_index, &timing) != data_start {
+                    continue;
+                }
+                if best.is_none_or(|(_, _, seq)| job.seq < seq) {
+                    best = Some((qi, pos, job.seq));
+                }
+                break; // later entries in this queue only have larger seqs
             }
         }
-        let Some((pos, _)) = best else { return false };
-        let (job, progress) = self.queue.remove(pos);
+        let Some((qi, pos, _)) = best else { return false };
+        let (job, progress) = self.remove_job(qi, pos);
         let flat = job.location.flat_bank(&topology);
         let kind = match job.kind {
             AccessKind::Read => CommandKind::Rd,
@@ -402,18 +570,21 @@ impl ChannelController {
     /// Attempts to activate the row needed by the oldest head-of-bank burst.
     fn try_issue_act(&mut self, now: Cycle) -> bool {
         let timing = self.config.timing;
-        let topology = self.config.topology;
+        let limit = self.window_limit_seq();
+        let fcfs_only = self.fcfs_only_seq(now);
         let mut best: Option<(usize, u64)> = None;
-        for (pos, (job, _)) in self.queue.iter().take(SCHED_WINDOW).enumerate() {
-            if job.arrival > now
-                || self.rank_refreshing(job.location.rank, now)
-                || self.fcfs_blocks(pos, now)
-                || !self.is_head_of_bank(pos)
+        for &qi in &self.busy_banks {
+            let rank_index = qi / self.banks_per_rank;
+            let flat = qi % self.banks_per_rank;
+            let (job, _) = &self.bank_queues[qi][0];
+            if job.seq > limit
+                || job.arrival > now
+                || self.rank_refreshing(rank_index, now)
+                || fcfs_only.is_some_and(|only| job.seq != only)
             {
                 continue;
             }
-            let rank = &self.ranks[job.location.rank];
-            let flat = job.location.flat_bank(&topology);
+            let rank = &self.ranks[rank_index];
             let bank = rank.bank(flat);
             if bank.outcome_for(job.location.row) != RowOutcome::Miss {
                 continue;
@@ -422,12 +593,12 @@ impl ChannelController {
                 continue;
             }
             if best.is_none_or(|(_, seq)| job.seq < seq) {
-                best = Some((pos, job.seq));
+                best = Some((qi, job.seq));
             }
         }
-        let Some((pos, _)) = best else { return false };
-        let (job, progress) = &mut self.queue[pos];
-        let flat = job.location.flat_bank(&topology);
+        let Some((qi, _)) = best else { return false };
+        let (job, progress) = &mut self.bank_queues[qi][0];
+        let flat = job.location.flat_bank(&self.config.topology);
         let row = job.location.row;
         let rank_index = job.location.rank;
         progress.issued_act = true;
@@ -442,18 +613,21 @@ impl ChannelController {
     /// Attempts to precharge a bank whose open row blocks its oldest burst.
     fn try_issue_pre(&mut self, now: Cycle) -> bool {
         let timing = self.config.timing;
-        let topology = self.config.topology;
+        let limit = self.window_limit_seq();
+        let fcfs_only = self.fcfs_only_seq(now);
         let mut best: Option<(usize, u64)> = None;
-        for (pos, (job, _)) in self.queue.iter().take(SCHED_WINDOW).enumerate() {
-            if job.arrival > now
-                || self.rank_refreshing(job.location.rank, now)
-                || self.fcfs_blocks(pos, now)
-                || !self.is_head_of_bank(pos)
+        for &qi in &self.busy_banks {
+            let rank_index = qi / self.banks_per_rank;
+            let flat = qi % self.banks_per_rank;
+            let (job, _) = &self.bank_queues[qi][0];
+            if job.seq > limit
+                || job.arrival > now
+                || self.rank_refreshing(rank_index, now)
+                || fcfs_only.is_some_and(|only| job.seq != only)
             {
                 continue;
             }
-            let rank = &self.ranks[job.location.rank];
-            let flat = job.location.flat_bank(&topology);
+            let rank = &self.ranks[rank_index];
             let bank = rank.bank(flat);
             if bank.outcome_for(job.location.row) != RowOutcome::Conflict {
                 continue;
@@ -462,12 +636,12 @@ impl ChannelController {
                 continue;
             }
             if best.is_none_or(|(_, seq)| job.seq < seq) {
-                best = Some((pos, job.seq));
+                best = Some((qi, job.seq));
             }
         }
-        let Some((pos, _)) = best else { return false };
-        let (job, progress) = &mut self.queue[pos];
-        let flat = job.location.flat_bank(&topology);
+        let Some((qi, _)) = best else { return false };
+        let (job, progress) = &mut self.bank_queues[qi][0];
+        let flat = job.location.flat_bank(&self.config.topology);
         let rank_index = job.location.rank;
         progress.issued_pre = true;
         self.record(now, CommandKind::Pre, rank_index, flat, 0);
@@ -476,31 +650,19 @@ impl ChannelController {
         true
     }
 
-    /// True when no older queued burst targets the same bank.
-    fn is_head_of_bank(&self, pos: usize) -> bool {
-        let (job, _) = &self.queue[pos];
-        let topology = &self.config.topology;
-        let key = (job.location.rank, job.location.flat_bank(topology));
-        !self.queue.iter().any(|(other, _)| {
-            other.seq < job.seq && (other.location.rank, other.location.flat_bank(topology)) == key
-        })
-    }
-
     /// Under the closed-page policy, precharges after the last queued burst
     /// to this row (free of command-bus cost — see module docs).
     fn maybe_auto_precharge(&mut self, job: &BurstJob, data_end: Cycle) {
         if self.config.page_policy != PagePolicy::Closed {
             return;
         }
-        let topology = &self.config.topology;
-        let key = (job.location.rank, job.location.flat_bank(topology), job.location.row);
-        let more_to_row = self.queue.iter().any(|(other, _)| {
-            (other.location.rank, other.location.flat_bank(topology), other.location.row) == key
-        });
+        let flat = job.location.flat_bank(&self.config.topology);
+        let qi = self.queue_index(job.location.rank, flat);
+        let more_to_row =
+            self.bank_queues[qi].iter().any(|(other, _)| other.location.row == job.location.row);
         if more_to_row {
             return;
         }
-        let flat = job.location.flat_bank(topology);
         let timing = self.config.timing;
         let rank_index = job.location.rank;
         let bank = self.ranks[rank_index].bank_mut(flat);
@@ -751,5 +913,26 @@ mod tests {
         let req = Request::read(0, 512);
         assert_eq!(req.bursts(config.topology.burst_bytes), 8);
         let _ = AddressMapping::RowRankBankColumn;
+    }
+
+    #[test]
+    fn next_event_cycle_is_exact_for_a_future_arrival() {
+        let mut ctrl = controller(PagePolicy::Open);
+        ctrl.enqueue(BurstJob {
+            arrival: 777,
+            ..job(0, Location { row: 5, ..Location::default() }, AccessKind::Read)
+        });
+        assert_eq!(ctrl.next_event_cycle(0), Some(777));
+        assert_eq!(ctrl.next_event_cycle(800), Some(800));
+    }
+
+    #[test]
+    fn next_event_cycle_reports_refresh_on_an_empty_queue() {
+        let mut config = MemoryConfig::ddr4_2400_4ch();
+        config.refresh = true;
+        let ctrl = ChannelController::new(config);
+        let first = ctrl.next_event_cycle(0).expect("refresh event");
+        let stagger = config.timing.tREFI / config.topology.ranks_per_channel() as u64;
+        assert_eq!(first, stagger, "first staggered refresh");
     }
 }

@@ -47,6 +47,10 @@ pub struct MemorySystem {
     next_id: u64,
     next_seq: u64,
     now: Cycle,
+    /// Cycles skipped by event-driven fast-forwarding (diagnostic only;
+    /// deliberately not part of [`MemoryStats`] so stepped and
+    /// fast-forwarded runs produce identical stats).
+    skipped_cycles: u64,
 }
 
 impl MemorySystem {
@@ -70,6 +74,7 @@ impl MemorySystem {
             next_id: 0,
             next_seq: 0,
             now: 0,
+            skipped_cycles: 0,
         }
     }
 
@@ -173,28 +178,60 @@ impl MemorySystem {
 
     /// Runs until every queued burst has issued, then advances the clock to
     /// the last data beat. Returns the final cycle.
+    ///
+    /// Time advances by **next-event fast-forwarding**: whenever a tick
+    /// dequeues nothing, the clock jumps straight to the earliest cycle at
+    /// which *any* controller could do something observable (issue a
+    /// command, fire a refresh, close an idle row). Controller event bounds
+    /// are conservative-early, never late, so every command issues on
+    /// exactly the same cycle as the unit-stepped reference
+    /// [`MemorySystem::run_until_idle_stepped`] — the parity suite asserts
+    /// identical command logs, stats and completions.
     pub fn run_until_idle(&mut self) -> Cycle {
         while self.controllers.iter().any(|c| !c.is_idle()) {
             let before = self.total_queued();
             self.tick();
             if self.total_queued() == before {
-                // Nothing issued: fast-forward to the next cycle at which any
-                // controller could make progress.
-                if let Some(next) = self
-                    .controllers
-                    .iter()
-                    .filter(|c| !c.is_idle())
-                    .filter_map(|c| c.next_interesting_cycle(self.now))
-                    .min()
+                // Nothing issued: fast-forward to the next cycle at which
+                // any controller (idle ones included — their refreshes must
+                // still fire on schedule) could make progress.
+                if let Some(next) =
+                    self.controllers.iter().filter_map(|c| c.next_event_cycle(self.now)).min()
                 {
-                    self.now = self.now.max(next);
+                    if next > self.now {
+                        self.skipped_cycles += next - self.now;
+                        self.now = next;
+                    }
                 }
             }
         }
+        self.finish_clock()
+    }
+
+    /// Reference driver: identical contract to
+    /// [`MemorySystem::run_until_idle`] but advances strictly one cycle at a
+    /// time, never jumping the clock. O(total simulated cycles); kept as the
+    /// ground truth the fast-forwarding driver is verified against.
+    pub fn run_until_idle_stepped(&mut self) -> Cycle {
+        while self.controllers.iter().any(|c| !c.is_idle()) {
+            self.tick();
+        }
+        self.finish_clock()
+    }
+
+    /// Advances the clock to the last in-flight data beat and returns it.
+    fn finish_clock(&mut self) -> Cycle {
         let last_finish =
             self.completions.values().map(|c| c.finish_cycle).max().unwrap_or(self.now);
         self.now = self.now.max(last_finish);
         self.now
+    }
+
+    /// Cycles the event-driven driver skipped instead of simulating
+    /// (diagnostic; always 0 after a purely stepped run).
+    #[must_use]
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skipped_cycles
     }
 
     /// The completion record for `id`, if it has finished.

@@ -27,3 +27,9 @@ ci: fmt clippy tier1
 # Regenerate the parallel-driver measurement (BENCH_parallel_driver.json).
 bench-driver:
     cargo bench -p fafnir-bench --bench parallel_driver
+
+# Regenerate the fast-forward measurement (BENCH_cycle_fastforward.json).
+# The bench refuses to overwrite a recorded result with a regressed speedup;
+# pass --force to accept one anyway: `just bench-fastforward --force`.
+bench-fastforward *ARGS:
+    cargo bench -p fafnir-bench --bench cycle_fastforward -- {{ARGS}}

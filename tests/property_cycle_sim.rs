@@ -41,6 +41,7 @@ proptest! {
         let event = tree.run(inputs_for(&batch, 8));
         // Table I sizing: capacity = batch capacity (32 here ≥ any window).
         let cycle = CycleTree::new(&tree, 32)
+            .expect("non-zero capacity")
             .run(inputs_for(&batch, 8))
             .expect("Table I sizing never deadlocks");
         prop_assert_eq!(cycle.stall_cycles, 0);
@@ -72,7 +73,8 @@ proptest! {
     fn occupancy_stays_within_table1_bound(batch in batch_strategy()) {
         let config = FafnirConfig { vector_dim: 4, ..FafnirConfig::paper_default() };
         let tree = ReductionTree::new(config, 8).unwrap();
-        let cycle = CycleTree::new(&tree, 32).run(inputs_for(&batch, 8)).unwrap();
+        let cycle =
+            CycleTree::new(&tree, 32).expect("non-zero capacity").run(inputs_for(&batch, 8)).unwrap();
         // A PE's two FIFOs never hold more than the batch plus its shared
         // items (the Table I argument, observed dynamically).
         let bound = batch.len() + batch.unique_indices().len();
