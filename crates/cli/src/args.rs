@@ -27,7 +27,7 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Flags that never take a value.
-const SWITCHES: &[&str] = &["no-dedup", "interactive", "refresh", "help"];
+const SWITCHES: &[&str] = &["no-dedup", "interactive", "refresh", "help", "json"];
 
 impl ParsedArgs {
     /// Parses tokens (without the program name).
@@ -53,6 +53,9 @@ impl ParsedArgs {
                 return Err(ArgError(format!("unexpected positional argument `{token}`")));
             };
             if SWITCHES.contains(&key) {
+                if parsed.switches.iter().any(|s| s == key) {
+                    return Err(ArgError(format!("flag `--{key}` given twice")));
+                }
                 parsed.switches.push(key.to_string());
                 continue;
             }
@@ -129,6 +132,7 @@ mod tests {
         assert!(parse("lookup --batch").unwrap_err().0.contains("needs a value"));
         assert!(parse("lookup stray").unwrap_err().0.contains("positional"));
         assert!(parse("lookup --batch 1 --batch 2").unwrap_err().0.contains("twice"));
+        assert!(parse("lookup --no-dedup --no-dedup").unwrap_err().0.contains("twice"));
         assert!(parse("lookup --batch x").unwrap().number_or("batch", 0usize).is_err());
     }
 

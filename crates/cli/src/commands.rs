@@ -19,6 +19,7 @@ use crate::args::{ArgError, ParsedArgs};
 pub fn run(args: &ParsedArgs) -> Result<String, ArgError> {
     match args.command.as_str() {
         "lookup" => lookup(args),
+        "serve" => serve(args),
         "spmv" => spmv(args),
         "report" => report(args),
         "trace" => trace(args),
@@ -43,6 +44,14 @@ pub fn usage() -> String {
                 --universe U (2000) --ranks R (32) --seed X (7)\n\
                 --engine fafnir|recnmp|tensordimm|no-ndp|all (all)\n\
                 --no-dedup --interactive --refresh\n\
+       serve    simulate an online lookup service in virtual time\n\
+                --rate QPS (1e6) --process poisson|onoff (poisson)\n\
+                --policy size|deadline|adaptive (adaptive) --batch N (32)\n\
+                --max-wait-ns W (500000) --workers K (4)\n\
+                --duration-queries N (512) --queue-capacity C (1024)\n\
+                --shed drop-newest|drop-oldest (drop-newest)\n\
+                --skew S (1.15) --universe U (2000) --query-len Q (16)\n\
+                --seed X (7) --no-dedup --json\n\
        spmv     run y = A·x on FAFNIR and the Two-Step baseline\n\
                 --gen uniform|rmat|banded|spd (rmat) --rows N (4096)\n\
                 --density D (0.01, uniform) --nnz N (rows*8, rmat)\n\
@@ -160,6 +169,80 @@ fn lookup(args: &ParsedArgs) -> Result<String, ArgError> {
         out.push_str("(* interactive mode: one query per hardware batch)\n");
     }
     Ok(out)
+}
+
+fn serve(args: &ParsedArgs) -> Result<String, ArgError> {
+    use fafnir_serve::{simulate, BatchPolicy, ServeConfig, ServeReport, ShedPolicy};
+    use fafnir_workloads::arrival::ArrivalProcess;
+
+    let rate: f64 = args.number_or("rate", 1e6)?;
+    let batch: usize = args.number_or("batch", 32)?;
+    let max_wait_ns: f64 = args.number_or("max-wait-ns", 500_000.0)?;
+    let workers: usize = args.number_or("workers", 4)?;
+    let queries: usize = args.number_or("duration-queries", 512)?;
+    let queue_capacity: usize = args.number_or("queue-capacity", 1_024)?;
+    let seed: u64 = args.number_or("seed", 7)?;
+    let skew: f64 = args.number_or("skew", 1.15)?;
+    let universe: u64 = args.number_or("universe", 2_000)?;
+    let query_len: usize = args.number_or("query-len", 16)?;
+
+    let arrivals = match args.get_or("process", "poisson") {
+        "poisson" => ArrivalProcess::Poisson { rate_qps: rate },
+        // 10 % duty-cycle bursts at 10x the nominal rate: the long-run mean
+        // stays at --rate, so poisson and onoff runs are comparable.
+        "onoff" => ArrivalProcess::OnOff {
+            burst_qps: rate * 10.0,
+            mean_on_ns: 20_000.0,
+            mean_off_ns: 180_000.0,
+        },
+        other => return Err(ArgError(format!("unknown process `{other}` (poisson|onoff)"))),
+    };
+    let policy = match args.get_or("policy", "adaptive") {
+        "size" => BatchPolicy::Size { batch },
+        "deadline" => BatchPolicy::Deadline { max_wait_ns, max_batch: batch },
+        "adaptive" => BatchPolicy::Adaptive { batch, max_wait_ns },
+        other => {
+            return Err(ArgError(format!("unknown policy `{other}` (size|deadline|adaptive)")))
+        }
+    };
+    let shed = match args.get_or("shed", "drop-newest") {
+        "drop-newest" => ShedPolicy::DropNewest,
+        "drop-oldest" => ShedPolicy::DropOldest,
+        other => {
+            return Err(ArgError(format!(
+                "unknown shed policy `{other}` \
+                                         (drop-newest|drop-oldest)"
+            )))
+        }
+    };
+    let config = ServeConfig {
+        arrivals,
+        policy,
+        workers,
+        queue_capacity,
+        shed,
+        queries,
+        seed,
+        ..ServeConfig::default()
+    };
+
+    let mem = MemoryConfig::ddr4_2400_4ch();
+    let engine_config =
+        FafnirConfig { dedup: !args.switch("no-dedup"), ..FafnirConfig::paper_default() };
+    let engine = FafnirEngine::new(engine_config, mem).map_err(|e| ArgError(e.to_string()))?;
+    let source = StripedSource::new(mem.topology, 128);
+    let popularity =
+        if skew == 0.0 { Popularity::Uniform } else { Popularity::Zipf { exponent: skew } };
+    let mut traffic = BatchGenerator::new(popularity, universe, query_len, seed);
+
+    let outcome =
+        simulate(&engine, &source, &mut traffic, &config).map_err(|e| ArgError(e.to_string()))?;
+    let report = ServeReport::new(&config, &outcome);
+    if args.switch("json") {
+        Ok(report.to_json())
+    } else {
+        Ok(report.render_table())
+    }
 }
 
 fn spmv(args: &ParsedArgs) -> Result<String, ArgError> {
@@ -463,6 +546,42 @@ mod tests {
     fn lookup_rejects_bad_ranks() {
         let error = run_line("lookup --ranks 3").unwrap_err();
         assert!(error.0.contains("power of two"));
+    }
+
+    #[test]
+    fn serve_reports_load_latency_and_dram_metrics() {
+        let out = run_line(
+            "serve --rate 2e6 --policy deadline --max-wait-ns 20000 \
+             --workers 2 --duration-queries 48 --seed 7",
+        )
+        .unwrap();
+        for needle in ["deadline policy", "p50", "p99", "reads per query", "shed"] {
+            assert!(out.contains(needle), "missing `{needle}` in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn serve_json_is_deterministic_across_runs() {
+        let line = "serve --rate 2e6 --policy adaptive --batch 16 --max-wait-ns 10000 \
+                    --duration-queries 48 --seed 7 --json";
+        let first = run_line(line).unwrap();
+        let second = run_line(line).unwrap();
+        assert_eq!(first, second, "serve --json must be byte-identical across runs");
+        for key in ["\"policy\": \"adaptive\"", "\"p99_ns\"", "\"dram_reads_per_query\""] {
+            assert!(first.contains(key), "missing {key} in:\n{first}");
+        }
+        // A different seed must actually change the run.
+        let other = run_line(&line.replace("--seed 7", "--seed 8")).unwrap();
+        assert_ne!(first, other);
+    }
+
+    #[test]
+    fn serve_rejects_unknown_enums_and_degenerate_configs() {
+        assert!(run_line("serve --policy bogus").unwrap_err().0.contains("policy"));
+        assert!(run_line("serve --process bogus").unwrap_err().0.contains("process"));
+        assert!(run_line("serve --shed bogus").unwrap_err().0.contains("shed"));
+        assert!(run_line("serve --workers 0 --duration-queries 8").is_err());
+        assert!(run_line("serve --rate -5 --duration-queries 8").is_err());
     }
 
     #[test]

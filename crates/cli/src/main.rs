@@ -2,6 +2,7 @@
 //!
 //! ```sh
 //! fafnir lookup --batch 32 --skew 1.15
+//! fafnir serve --rate 2e6 --policy deadline --max-wait-ns 500000 --workers 4
 //! fafnir spmv --gen rmat --rows 4096
 //! fafnir report --ranks 32
 //! fafnir trace --record 100 > trace.txt && fafnir trace --stats trace.txt

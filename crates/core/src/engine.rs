@@ -97,15 +97,32 @@ impl LookupResult {
     /// Panics if `p` is outside `(0, 1]`.
     #[must_use]
     pub fn completion_percentile_ns(&self, p: f64) -> f64 {
-        assert!(p > 0.0 && p <= 1.0, "percentile must be in (0, 1]");
-        if self.per_query_ns.is_empty() {
-            return 0.0;
-        }
-        let mut times: Vec<f64> = self.per_query_ns.iter().map(|&(_, t)| t).collect();
-        times.sort_by(f64::total_cmp);
-        let rank = ((p * times.len() as f64).ceil() as usize).clamp(1, times.len());
-        times[rank - 1]
+        let times: Vec<f64> = self.per_query_ns.iter().map(|&(_, t)| t).collect();
+        nearest_rank_percentile_ns(&times, p)
     }
+}
+
+/// The `p`-th nearest-rank percentile of a latency sample in nanoseconds.
+///
+/// The sample need not be sorted; `p = 1.0` is the maximum, `p = 0.5` the
+/// median. Returns 0.0 for an empty sample. This is the percentile
+/// definition shared by [`LookupResult::completion_percentile_ns`] and the
+/// `fafnir-serve` tail-latency reports, so per-batch and per-service
+/// numbers are directly comparable.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `(0, 1]`.
+#[must_use]
+pub fn nearest_rank_percentile_ns(samples: &[f64], p: f64) -> f64 {
+    assert!(p > 0.0 && p <= 1.0, "percentile must be in (0, 1]");
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut times = samples.to_vec();
+    times.sort_by(f64::total_cmp);
+    let rank = ((p * times.len() as f64).ceil() as usize).clamp(1, times.len());
+    times[rank - 1]
 }
 
 /// Result of a pipelined multi-batch stream (see
@@ -579,6 +596,45 @@ mod tests {
         for &(_, t) in &result.per_query_ns {
             assert!(t <= result.latency.total_ns + 1e-9);
         }
+    }
+
+    #[test]
+    fn percentile_of_single_sample_is_that_sample() {
+        let engine = engine();
+        let source = source();
+        let batch = Batch::from_index_sets([indexset![1, 2, 3]]);
+        let result = engine.lookup(&batch, &source).unwrap();
+        assert_eq!(result.per_query_ns.len(), 1);
+        let only = result.per_query_ns[0].1;
+        for p in [0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(result.completion_percentile_ns(p), only, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn percentile_one_equals_maximum_and_handles_unsorted_samples() {
+        // Unsorted, duplicated sample: nearest-rank must sort internally.
+        let samples = [400.0, 100.0, 300.0, 100.0, 200.0];
+        assert_eq!(nearest_rank_percentile_ns(&samples, 1.0), 400.0);
+        assert_eq!(nearest_rank_percentile_ns(&samples, 0.2), 100.0);
+        assert_eq!(nearest_rank_percentile_ns(&samples, 0.5), 200.0);
+        assert_eq!(nearest_rank_percentile_ns(&samples, 0.99), 400.0);
+        assert_eq!(nearest_rank_percentile_ns(&[], 0.5), 0.0);
+        // A result whose per_query_ns was shuffled still reports p=1.0 as
+        // the maximum.
+        let engine = engine();
+        let source = source();
+        let batch = Batch::from_index_sets([indexset![1, 2], indexset![3, 4], indexset![60, 61]]);
+        let mut result = engine.lookup(&batch, &source).unwrap();
+        result.per_query_ns.reverse();
+        let max = result.per_query_ns.iter().map(|&(_, t)| t).fold(0.0, f64::max);
+        assert_eq!(result.completion_percentile_ns(1.0), max);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in (0, 1]")]
+    fn percentile_zero_is_rejected() {
+        let _ = nearest_rank_percentile_ns(&[1.0], 0.0);
     }
 
     #[test]

@@ -82,7 +82,8 @@ pub mod verify;
 pub use batch::{Batch, Query};
 pub use config::FafnirConfig;
 pub use engine::{
-    FafnirEngine, LatencyBreakdown, LookupResult, StreamResult, TrafficStats, TreeBackend,
+    nearest_rank_percentile_ns, FafnirEngine, LatencyBreakdown, LookupResult, StreamResult,
+    TrafficStats, TreeBackend,
 };
 pub use error::FafnirError;
 pub use index::{IndexSet, QueryId, VectorIndex};

@@ -1,0 +1,100 @@
+//! # fafnir-serve — deterministic serving simulation for FAFNIR
+//!
+//! The paper's headline mechanism — batch-level unique-index extraction
+//! (Fig. 3, Sec. IV-B) — only pays off when queries are *batched*, but an
+//! online recommendation service receives an open-loop query stream, not
+//! batches (RecNMP, ISCA 2020). This crate turns the [`fafnir_core`]
+//! engines into a load-driven system simulated in **virtual time**:
+//!
+//! * [`fafnir_workloads::arrival`] supplies seeded Poisson / bursty on-off
+//!   arrival schedules (open-loop load generation);
+//! * a dynamic batcher ([`BatchPolicy`]) forms hardware batches from the
+//!   arrival queue — the knob that trades DRAM dedup savings against queue
+//!   wait;
+//! * admission control ([`ShedPolicy`], bounded queues) converts overload
+//!   into a measured shed rate instead of unbounded latency;
+//! * a worker pool dispatches formed batches onto replicated engine
+//!   instances, each with a private memory system (the
+//!   [`fafnir_core::ParallelBatchDriver`] replication pattern);
+//! * [`ServeReport`] aggregates throughput, utilization, shed rate,
+//!   nearest-rank latency percentiles (p50/p95/p99) and DRAM reads per
+//!   query, rendered as a table or byte-stable JSON.
+//!
+//! Everything is deterministic: the same configuration and seeds produce a
+//! byte-identical report on any host.
+//!
+//! ```
+//! use fafnir_core::{FafnirEngine, StripedSource};
+//! use fafnir_mem::MemoryConfig;
+//! use fafnir_serve::{simulate, BatchPolicy, ServeConfig, ServeReport};
+//! use fafnir_workloads::arrival::ArrivalProcess;
+//! use fafnir_workloads::query::{BatchGenerator, Popularity};
+//!
+//! # fn main() -> Result<(), fafnir_serve::ServeError> {
+//! let mem = MemoryConfig::ddr4_2400_4ch();
+//! let engine = FafnirEngine::paper_default(mem).expect("paper defaults are valid");
+//! let source = StripedSource::new(mem.topology, 128);
+//! let mut traffic = BatchGenerator::new(Popularity::Zipf { exponent: 1.15 }, 2_000, 16, 7);
+//!
+//! let config = ServeConfig {
+//!     arrivals: ArrivalProcess::Poisson { rate_qps: 2e6 },
+//!     policy: BatchPolicy::Deadline { max_wait_ns: 500_000.0, max_batch: 32 },
+//!     queries: 64,
+//!     ..ServeConfig::default()
+//! };
+//! let outcome = simulate(&engine, &source, &mut traffic, &config)?;
+//! let report = ServeReport::new(&config, &outcome);
+//! assert_eq!(report.served + report.shed, 64);
+//! assert!(report.latency.p99_ns >= report.latency.p50_ns);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod policy;
+pub mod queue;
+pub mod record;
+pub mod report;
+pub mod sim;
+
+pub use policy::BatchPolicy;
+pub use queue::ShedPolicy;
+pub use record::{BatchRecord, QueryOutcome, QueryRecord};
+pub use report::{LatencyStats, ServeReport};
+pub use sim::{simulate, ServeConfig, ServeOutcome};
+
+/// Errors a serving simulation can produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The serving configuration is inconsistent (zero workers, degenerate
+    /// policy parameters, a batch that can never form, …).
+    InvalidConfig(String),
+    /// The underlying gather engine rejected a formed batch.
+    Engine(fafnir_core::FafnirError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidConfig(message) => write!(f, "invalid serving configuration: {message}"),
+            Self::Engine(error) => write!(f, "engine error: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::InvalidConfig(_) => None,
+            Self::Engine(error) => Some(error),
+        }
+    }
+}
+
+impl From<fafnir_core::FafnirError> for ServeError {
+    fn from(error: fafnir_core::FafnirError) -> Self {
+        Self::Engine(error)
+    }
+}

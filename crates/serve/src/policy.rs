@@ -1,0 +1,180 @@
+//! Dynamic batching policies: when the batcher closes a hardware batch.
+//!
+//! The paper's batch-level unique-index extraction (Fig. 3, Sec. IV-B)
+//! only pays off when queries are batched — but an online service does not
+//! receive batches, it receives a query stream. The batching policy decides
+//! how long arrivals wait for companions, which is exactly the dedup-vs-
+//! latency trade-off: a longer window means more shared indices (fewer DRAM
+//! reads per query) and more queue wait.
+
+use crate::ServeError;
+
+/// When the dynamic batcher closes the batch at the head of the arrival
+/// queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BatchPolicy {
+    /// Close as soon as `batch` queries are queued; never on time. The
+    /// throughput-oriented policy: deep batches, unbounded wait at low
+    /// load (the classic straggler problem — quantified, not hidden).
+    Size {
+        /// Queries per batch.
+        batch: usize,
+    },
+    /// Close when the *oldest* queued query has waited `max_wait_ns`,
+    /// taking everything queued up to `max_batch`; close early only when
+    /// `max_batch` queries are already waiting (the hardware bound). The
+    /// latency-SLO-oriented policy: every admitted query's batching delay
+    /// is capped.
+    Deadline {
+        /// Batching window: the longest any query waits for companions.
+        max_wait_ns: f64,
+        /// Hard batch-size cap (hardware capacity).
+        max_batch: usize,
+    },
+    /// Size-or-timeout: close at `batch` queries or when the oldest has
+    /// waited `max_wait_ns`, whichever comes first. The usual production
+    /// compromise.
+    Adaptive {
+        /// Preferred queries per batch.
+        batch: usize,
+        /// Batching window cap.
+        max_wait_ns: f64,
+    },
+}
+
+impl BatchPolicy {
+    /// Validates the policy parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for zero batch sizes or
+    /// negative / non-finite waits.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        let batch = self.max_batch();
+        if batch == 0 {
+            return Err(ServeError::InvalidConfig("batch size must be non-zero".into()));
+        }
+        if let Self::Deadline { max_wait_ns, .. } | Self::Adaptive { max_wait_ns, .. } = *self {
+            if !max_wait_ns.is_finite() || max_wait_ns < 0.0 {
+                return Err(ServeError::InvalidConfig(format!(
+                    "max_wait_ns must be finite and non-negative, got {max_wait_ns}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// The most queries one formed batch may hold.
+    #[must_use]
+    pub fn max_batch(&self) -> usize {
+        match *self {
+            Self::Size { batch } | Self::Adaptive { batch, .. } => batch,
+            Self::Deadline { max_batch, .. } => max_batch,
+        }
+    }
+
+    /// The policy's display name (matches the CLI `--policy` values).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Size { .. } => "size",
+            Self::Deadline { .. } => "deadline",
+            Self::Adaptive { .. } => "adaptive",
+        }
+    }
+
+    /// Whether a batch should close at `now_ns`, given the queue depth and
+    /// the oldest queued query's arrival time.
+    ///
+    /// The time trigger compares `now_ns` against [`Self::deadline_ns`]'s
+    /// exact expression (`oldest + max_wait`), never the rearranged
+    /// `now - oldest >= max_wait`: the event loop jumps `now` to the
+    /// computed deadline, and the rearranged form can round to just below
+    /// `max_wait`, leaving a deadline that never fires and a clock that
+    /// never advances.
+    #[must_use]
+    pub(crate) fn ready(&self, queued: usize, oldest_arrival_ns: f64, now_ns: f64) -> bool {
+        if queued == 0 {
+            return false;
+        }
+        let due = self.deadline_ns(oldest_arrival_ns).is_some_and(|deadline| now_ns >= deadline);
+        match *self {
+            Self::Size { batch } => queued >= batch,
+            Self::Deadline { max_batch, .. } => due || queued >= max_batch,
+            Self::Adaptive { batch, .. } => due || queued >= batch,
+        }
+    }
+
+    /// The absolute time a time-based trigger fires for a query that
+    /// arrived at `oldest_arrival_ns` (`None` for pure size triggering).
+    #[must_use]
+    pub(crate) fn deadline_ns(&self, oldest_arrival_ns: f64) -> Option<f64> {
+        match *self {
+            Self::Size { .. } => None,
+            Self::Deadline { max_wait_ns, .. } | Self::Adaptive { max_wait_ns, .. } => {
+                Some(oldest_arrival_ns + max_wait_ns)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_policy_triggers_on_depth_only() {
+        let policy = BatchPolicy::Size { batch: 4 };
+        assert!(!policy.ready(3, 0.0, 1e12));
+        assert!(policy.ready(4, 0.0, 0.0));
+        assert_eq!(policy.deadline_ns(100.0), None);
+    }
+
+    #[test]
+    fn deadline_policy_triggers_on_age_or_hard_cap() {
+        let policy = BatchPolicy::Deadline { max_wait_ns: 500.0, max_batch: 8 };
+        assert!(!policy.ready(7, 0.0, 499.0));
+        assert!(policy.ready(1, 0.0, 500.0));
+        assert!(policy.ready(8, 0.0, 0.0));
+        assert_eq!(policy.deadline_ns(100.0), Some(600.0));
+    }
+
+    #[test]
+    fn adaptive_policy_is_size_or_timeout() {
+        let policy = BatchPolicy::Adaptive { batch: 4, max_wait_ns: 500.0 };
+        assert!(policy.ready(4, 0.0, 0.0));
+        assert!(policy.ready(1, 0.0, 500.0));
+        assert!(!policy.ready(3, 0.0, 499.0));
+    }
+
+    #[test]
+    fn empty_queue_never_triggers() {
+        for policy in [
+            BatchPolicy::Size { batch: 1 },
+            BatchPolicy::Deadline { max_wait_ns: 0.0, max_batch: 1 },
+            BatchPolicy::Adaptive { batch: 1, max_wait_ns: 0.0 },
+        ] {
+            assert!(!policy.ready(0, 0.0, f64::INFINITY), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn jumping_now_to_the_computed_deadline_always_triggers() {
+        // Regression guard for the event-loop livelock: for awkward
+        // arrival times, `(arrival + wait) - arrival` rounds below `wait`,
+        // so a wait-based trigger would never fire at the jumped-to time.
+        let policy = BatchPolicy::Deadline { max_wait_ns: 1_000.0, max_batch: 32 };
+        for arrival in [523.371_234_817, 1.0e12 + 0.3, 777.777_777_7] {
+            let deadline = policy.deadline_ns(arrival).expect("time-triggered policy");
+            assert!(policy.ready(1, arrival, deadline), "arrival {arrival}");
+        }
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_parameters() {
+        assert!(BatchPolicy::Size { batch: 0 }.validate().is_err());
+        assert!(BatchPolicy::Deadline { max_wait_ns: -1.0, max_batch: 4 }.validate().is_err());
+        assert!(BatchPolicy::Adaptive { batch: 4, max_wait_ns: f64::NAN }.validate().is_err());
+        assert!(BatchPolicy::Deadline { max_wait_ns: 0.0, max_batch: 4 }.validate().is_ok());
+    }
+}

@@ -1,0 +1,128 @@
+//! Admission control: the bounded arrival queue and its shedding policy.
+//!
+//! An open-loop service cannot slow its clients down; when offered load
+//! exceeds capacity the only choices are unbounded queue growth (and
+//! unbounded tail latency) or load shedding. The serving simulation bounds
+//! the arrival queue and sheds per [`ShedPolicy`], so overload shows up as
+//! a measured shed rate instead of a meaningless latency number.
+
+use std::collections::VecDeque;
+
+/// Which query to drop when the arrival queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShedPolicy {
+    /// Reject the arriving query (drop-tail). Preserves the latency of
+    /// already-admitted queries; the default.
+    #[default]
+    DropNewest,
+    /// Evict the oldest queued query and admit the new one. Sacrifices the
+    /// query most likely to miss its SLO anyway.
+    DropOldest,
+}
+
+impl ShedPolicy {
+    /// The policy's display name (matches the CLI `--shed` values).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::DropNewest => "drop-newest",
+            Self::DropOldest => "drop-oldest",
+        }
+    }
+}
+
+/// What happened when a query was offered to the bounded queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Admission {
+    /// Query admitted; nothing dropped.
+    Admitted,
+    /// The queue was full and this query was dropped.
+    SheddedArrival,
+    /// The queue was full; the returned (oldest) query was evicted and the
+    /// arrival admitted.
+    SheddedOldest(usize),
+}
+
+/// A bounded FIFO of submission-order query ids with their arrival times.
+#[derive(Debug, Clone)]
+pub(crate) struct ArrivalQueue {
+    capacity: usize,
+    shed: ShedPolicy,
+    entries: VecDeque<(usize, f64)>,
+}
+
+impl ArrivalQueue {
+    pub(crate) fn new(capacity: usize, shed: ShedPolicy) -> Self {
+        Self { capacity, shed, entries: VecDeque::new() }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Arrival time of the oldest queued query.
+    pub(crate) fn oldest_arrival_ns(&self) -> Option<f64> {
+        self.entries.front().map(|&(_, t)| t)
+    }
+
+    /// Offers a query; full queues shed per the policy.
+    pub(crate) fn offer(&mut self, id: usize, arrival_ns: f64) -> Admission {
+        if self.entries.len() < self.capacity {
+            self.entries.push_back((id, arrival_ns));
+            return Admission::Admitted;
+        }
+        match self.shed {
+            ShedPolicy::DropNewest => Admission::SheddedArrival,
+            ShedPolicy::DropOldest => {
+                let (evicted, _) = self.entries.pop_front().expect("full queue is non-empty");
+                self.entries.push_back((id, arrival_ns));
+                Admission::SheddedOldest(evicted)
+            }
+        }
+    }
+
+    /// Removes and returns up to `count` queries from the head.
+    pub(crate) fn take(&mut self, count: usize) -> Vec<usize> {
+        let take = count.min(self.entries.len());
+        self.entries.drain(..take).map(|(id, _)| id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_newest_rejects_the_arrival() {
+        let mut queue = ArrivalQueue::new(2, ShedPolicy::DropNewest);
+        assert_eq!(queue.offer(0, 1.0), Admission::Admitted);
+        assert_eq!(queue.offer(1, 2.0), Admission::Admitted);
+        assert_eq!(queue.offer(2, 3.0), Admission::SheddedArrival);
+        assert_eq!(queue.len(), 2);
+        assert_eq!(queue.oldest_arrival_ns(), Some(1.0));
+    }
+
+    #[test]
+    fn drop_oldest_evicts_the_head() {
+        let mut queue = ArrivalQueue::new(2, ShedPolicy::DropOldest);
+        queue.offer(0, 1.0);
+        queue.offer(1, 2.0);
+        assert_eq!(queue.offer(2, 3.0), Admission::SheddedOldest(0));
+        assert_eq!(queue.take(2), vec![1, 2]);
+    }
+
+    #[test]
+    fn take_respects_fifo_order_and_queue_depth() {
+        let mut queue = ArrivalQueue::new(8, ShedPolicy::DropNewest);
+        for id in 0..5 {
+            queue.offer(id, id as f64);
+        }
+        assert_eq!(queue.take(3), vec![0, 1, 2]);
+        assert_eq!(queue.take(10), vec![3, 4]);
+        assert!(queue.is_empty());
+    }
+}

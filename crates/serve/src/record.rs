@@ -1,0 +1,139 @@
+//! Per-query and per-batch accounting in virtual nanoseconds.
+
+/// What happened to one submitted query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryOutcome {
+    /// Still queued (only observable mid-simulation; a finished run has
+    /// none of these).
+    Pending,
+    /// Rejected by admission control at `shed_ns`.
+    Shed {
+        /// Virtual time the query was dropped.
+        shed_ns: f64,
+    },
+    /// Served to completion.
+    Served {
+        /// Index of the formed batch (in formation order) that carried it.
+        batch: usize,
+        /// Virtual time the batcher closed that batch.
+        formed_ns: f64,
+        /// Virtual time a worker started serving that batch.
+        dispatched_ns: f64,
+        /// Virtual time this query's output reached the host.
+        completion_ns: f64,
+    },
+}
+
+/// The life of one query through the serving pipeline, in submission order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryRecord {
+    /// Virtual arrival time.
+    pub arrival_ns: f64,
+    /// Outcome (shed or served with its timeline).
+    pub outcome: QueryOutcome,
+}
+
+impl QueryRecord {
+    /// Time spent waiting in the batcher (arrival → batch closed), if
+    /// served.
+    #[must_use]
+    pub fn batch_wait_ns(&self) -> Option<f64> {
+        match self.outcome {
+            QueryOutcome::Served { formed_ns, .. } => Some(formed_ns - self.arrival_ns),
+            _ => None,
+        }
+    }
+
+    /// Time the closed batch waited for a free worker, if served.
+    #[must_use]
+    pub fn dispatch_wait_ns(&self) -> Option<f64> {
+        match self.outcome {
+            QueryOutcome::Served { formed_ns, dispatched_ns, .. } => {
+                Some(dispatched_ns - formed_ns)
+            }
+            _ => None,
+        }
+    }
+
+    /// Queue wait: arrival → dispatch (batching plus worker wait), if
+    /// served.
+    #[must_use]
+    pub fn queue_wait_ns(&self) -> Option<f64> {
+        match self.outcome {
+            QueryOutcome::Served { dispatched_ns, .. } => Some(dispatched_ns - self.arrival_ns),
+            _ => None,
+        }
+    }
+
+    /// Service time: dispatch → this query's output at the host, if served.
+    #[must_use]
+    pub fn service_ns(&self) -> Option<f64> {
+        match self.outcome {
+            QueryOutcome::Served { dispatched_ns, completion_ns, .. } => {
+                Some(completion_ns - dispatched_ns)
+            }
+            _ => None,
+        }
+    }
+
+    /// End-to-end latency: arrival → output at the host, if served.
+    #[must_use]
+    pub fn latency_ns(&self) -> Option<f64> {
+        match self.outcome {
+            QueryOutcome::Served { completion_ns, .. } => Some(completion_ns - self.arrival_ns),
+            _ => None,
+        }
+    }
+}
+
+/// One formed batch's journey through a worker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchRecord {
+    /// Submission-order ids of the member queries.
+    pub queries: Vec<usize>,
+    /// Virtual time the batcher closed the batch.
+    pub formed_ns: f64,
+    /// Virtual time a worker started serving it.
+    pub dispatched_ns: f64,
+    /// Worker replica that served it.
+    pub worker: usize,
+    /// Engine service time (dispatch → last output).
+    pub service_ns: f64,
+    /// Index references in the batch (`Σ |query|`).
+    pub references: u64,
+    /// Deduplicated DRAM vector reads the batch issued.
+    pub vectors_read: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn served_record_decomposes_latency() {
+        let record = QueryRecord {
+            arrival_ns: 100.0,
+            outcome: QueryOutcome::Served {
+                batch: 0,
+                formed_ns: 150.0,
+                dispatched_ns: 170.0,
+                completion_ns: 300.0,
+            },
+        };
+        assert_eq!(record.batch_wait_ns(), Some(50.0));
+        assert_eq!(record.dispatch_wait_ns(), Some(20.0));
+        assert_eq!(record.queue_wait_ns(), Some(70.0));
+        assert_eq!(record.service_ns(), Some(130.0));
+        assert_eq!(record.latency_ns(), Some(200.0));
+    }
+
+    #[test]
+    fn shed_and_pending_records_have_no_latency() {
+        for outcome in [QueryOutcome::Pending, QueryOutcome::Shed { shed_ns: 5.0 }] {
+            let record = QueryRecord { arrival_ns: 1.0, outcome };
+            assert_eq!(record.latency_ns(), None);
+            assert_eq!(record.queue_wait_ns(), None);
+            assert_eq!(record.service_ns(), None);
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Aggregated serving metrics: throughput, utilization, shed rate, and
+//! nearest-rank latency percentiles, with deterministic table and JSON
+//! renderings.
+
+use fafnir_core::nearest_rank_percentile_ns;
+
+use crate::record::QueryRecord;
+use crate::sim::{ServeConfig, ServeOutcome};
+
+/// Nearest-rank summary of one latency sample, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencyStats {
+    /// Arithmetic mean.
+    pub mean_ns: f64,
+    /// Median (p50).
+    pub p50_ns: f64,
+    /// 95th percentile.
+    pub p95_ns: f64,
+    /// 99th percentile.
+    pub p99_ns: f64,
+    /// Maximum (p100).
+    pub max_ns: f64,
+}
+
+impl LatencyStats {
+    /// Summarizes a (possibly unsorted) sample; zeros for an empty one.
+    #[must_use]
+    pub fn of(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        Self {
+            mean_ns: samples.iter().sum::<f64>() / samples.len() as f64,
+            p50_ns: nearest_rank_percentile_ns(samples, 0.5),
+            p95_ns: nearest_rank_percentile_ns(samples, 0.95),
+            p99_ns: nearest_rank_percentile_ns(samples, 0.99),
+            max_ns: nearest_rank_percentile_ns(samples, 1.0),
+        }
+    }
+}
+
+/// The serving-run report: configuration echo plus measured load, latency
+/// and data-movement metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Batching policy name (`size` / `deadline` / `adaptive`).
+    pub policy: String,
+    /// Shedding policy name (`drop-newest` / `drop-oldest`).
+    pub shed_policy: String,
+    /// Nominal long-run offered rate in queries per second.
+    pub offered_qps: f64,
+    /// Worker replicas.
+    pub workers: usize,
+    /// Arrival-queue bound in queries.
+    pub queue_capacity: usize,
+    /// Arrival-schedule seed.
+    pub seed: u64,
+    /// Queries offered by the load generator.
+    pub offered: usize,
+    /// Queries served to completion.
+    pub served: usize,
+    /// Queries rejected by admission control.
+    pub shed: usize,
+    /// Fraction of offered queries shed.
+    pub shed_rate: f64,
+    /// Batches formed.
+    pub batches: usize,
+    /// Mean queries per formed batch.
+    pub mean_batch_size: f64,
+    /// Virtual time of the last host-side output.
+    pub makespan_ns: f64,
+    /// Served throughput in queries per second.
+    pub throughput_qps: f64,
+    /// Busy fraction of the worker pool (`Σ service / (workers × makespan)`).
+    pub utilization: f64,
+    /// End-to-end latency (arrival → output at host) of served queries.
+    pub latency: LatencyStats,
+    /// Queue wait (arrival → dispatch: batching plus worker wait).
+    pub queue_wait: LatencyStats,
+    /// Service time (dispatch → output at host).
+    pub service: LatencyStats,
+    /// Index references across served batches.
+    pub references: u64,
+    /// Deduplicated DRAM vector reads across served batches.
+    pub vectors_read: u64,
+    /// DRAM vector reads per served query (the Fig. 3 dedup win under
+    /// dynamic batching).
+    pub dram_reads_per_query: f64,
+    /// Fraction of references dedup removed (`1 − reads/references`).
+    pub dedup_savings: f64,
+}
+
+impl ServeReport {
+    /// Builds the report for a finished run.
+    #[must_use]
+    pub fn new(config: &ServeConfig, outcome: &ServeOutcome) -> Self {
+        let served = outcome.served();
+        let shed = outcome.shed();
+        let offered = outcome.records.len();
+        let makespan_ns = outcome.makespan_ns();
+        let latencies: Vec<f64> =
+            outcome.records.iter().filter_map(QueryRecord::latency_ns).collect();
+        let queue_waits: Vec<f64> =
+            outcome.records.iter().filter_map(QueryRecord::queue_wait_ns).collect();
+        let services: Vec<f64> =
+            outcome.records.iter().filter_map(QueryRecord::service_ns).collect();
+        let references: u64 = outcome.batches.iter().map(|b| b.references).sum();
+        let vectors_read: u64 = outcome.batches.iter().map(|b| b.vectors_read).sum();
+        let busy_ns: f64 = outcome.batches.iter().map(|b| b.service_ns).sum();
+        Self {
+            policy: config.policy.name().to_string(),
+            shed_policy: config.shed.name().to_string(),
+            offered_qps: config.arrivals.mean_rate_qps(),
+            workers: config.workers,
+            queue_capacity: config.queue_capacity,
+            seed: config.seed,
+            offered,
+            served,
+            shed,
+            shed_rate: if offered == 0 { 0.0 } else { shed as f64 / offered as f64 },
+            batches: outcome.batches.len(),
+            mean_batch_size: if outcome.batches.is_empty() {
+                0.0
+            } else {
+                served as f64 / outcome.batches.len() as f64
+            },
+            makespan_ns,
+            throughput_qps: if makespan_ns <= 0.0 {
+                0.0
+            } else {
+                served as f64 / (makespan_ns * 1e-9)
+            },
+            utilization: if makespan_ns <= 0.0 {
+                0.0
+            } else {
+                busy_ns / (config.workers as f64 * makespan_ns)
+            },
+            latency: LatencyStats::of(&latencies),
+            queue_wait: LatencyStats::of(&queue_waits),
+            service: LatencyStats::of(&services),
+            references,
+            vectors_read,
+            dram_reads_per_query: if served == 0 {
+                0.0
+            } else {
+                vectors_read as f64 / served as f64
+            },
+            dedup_savings: if references == 0 {
+                0.0
+            } else {
+                1.0 - vectors_read as f64 / references as f64
+            },
+        }
+    }
+
+    /// Renders the human-readable table.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let row = |label: &str, value: String| format!("  {label:<22} {value}\n");
+        let stats = |label: &str, stats: &LatencyStats| {
+            row(
+                label,
+                format!(
+                    "p50 {:>10.1} ns   p95 {:>10.1} ns   p99 {:>10.1} ns   max {:>10.1} ns",
+                    stats.p50_ns, stats.p95_ns, stats.p99_ns, stats.max_ns
+                ),
+            )
+        };
+        let mut out = format!(
+            "serve: {} policy, {} workers, {:.0} qps offered ({} queries, seed {})\n",
+            self.policy, self.workers, self.offered_qps, self.offered, self.seed
+        );
+        out.push_str(&row(
+            "load",
+            format!(
+                "served {} / shed {} ({:.2} % shed, {} policy)",
+                self.served,
+                self.shed,
+                self.shed_rate * 100.0,
+                self.shed_policy
+            ),
+        ));
+        out.push_str(&row(
+            "throughput",
+            format!(
+                "{:.0} qps over {:.1} us makespan, utilization {:.1} %",
+                self.throughput_qps,
+                self.makespan_ns / 1e3,
+                self.utilization * 100.0
+            ),
+        ));
+        out.push_str(&row(
+            "batching",
+            format!("{} batches, mean size {:.1}", self.batches, self.mean_batch_size),
+        ));
+        out.push_str(&stats("latency", &self.latency));
+        out.push_str(&stats("queue wait", &self.queue_wait));
+        out.push_str(&stats("service", &self.service));
+        out.push_str(&row(
+            "DRAM",
+            format!(
+                "{} vector reads / {} references = {:.2} reads per query \
+                 ({:.1} % dedup savings)",
+                self.vectors_read,
+                self.references,
+                self.dram_reads_per_query,
+                self.dedup_savings * 100.0
+            ),
+        ));
+        out
+    }
+
+    /// Renders the report as deterministic JSON (fixed key order and float
+    /// formatting, so identical runs are byte-identical).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let stats = |stats: &LatencyStats| {
+            format!(
+                "{{\"mean_ns\": {:.3}, \"p50_ns\": {:.3}, \"p95_ns\": {:.3}, \
+                 \"p99_ns\": {:.3}, \"max_ns\": {:.3}}}",
+                stats.mean_ns, stats.p50_ns, stats.p95_ns, stats.p99_ns, stats.max_ns
+            )
+        };
+        format!(
+            "{{\n  \"policy\": \"{}\",\n  \"shed_policy\": \"{}\",\n  \
+             \"offered_qps\": {:.3},\n  \"workers\": {},\n  \
+             \"queue_capacity\": {},\n  \"seed\": {},\n  \"offered\": {},\n  \
+             \"served\": {},\n  \"shed\": {},\n  \"shed_rate\": {:.6},\n  \
+             \"batches\": {},\n  \"mean_batch_size\": {:.3},\n  \
+             \"makespan_ns\": {:.3},\n  \"throughput_qps\": {:.3},\n  \
+             \"utilization\": {:.6},\n  \"latency\": {},\n  \
+             \"queue_wait\": {},\n  \"service\": {},\n  \"references\": {},\n  \
+             \"vectors_read\": {},\n  \"dram_reads_per_query\": {:.6},\n  \
+             \"dedup_savings\": {:.6}\n}}\n",
+            self.policy,
+            self.shed_policy,
+            self.offered_qps,
+            self.workers,
+            self.queue_capacity,
+            self.seed,
+            self.offered,
+            self.served,
+            self.shed,
+            self.shed_rate,
+            self.batches,
+            self.mean_batch_size,
+            self.makespan_ns,
+            self.throughput_qps,
+            self.utilization,
+            stats(&self.latency),
+            stats(&self.queue_wait),
+            stats(&self.service),
+            self.references,
+            self.vectors_read,
+            self.dram_reads_per_query,
+            self.dedup_savings,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_stats_match_nearest_rank_definition() {
+        let samples = [5.0, 1.0, 4.0, 2.0, 3.0];
+        let stats = LatencyStats::of(&samples);
+        assert_eq!(stats.p50_ns, 3.0);
+        assert_eq!(stats.p99_ns, 5.0);
+        assert_eq!(stats.max_ns, 5.0);
+        assert!((stats.mean_ns - 3.0).abs() < 1e-12);
+        assert_eq!(LatencyStats::of(&[]), LatencyStats::default());
+    }
+
+    #[test]
+    fn single_sample_collapses_all_percentiles() {
+        let stats = LatencyStats::of(&[42.0]);
+        assert_eq!(stats.p50_ns, 42.0);
+        assert_eq!(stats.p95_ns, 42.0);
+        assert_eq!(stats.p99_ns, 42.0);
+        assert_eq!(stats.max_ns, 42.0);
+        assert_eq!(stats.mean_ns, 42.0);
+    }
+}

@@ -1,0 +1,322 @@
+//! The deterministic virtual-time serving simulation.
+//!
+//! [`simulate`] drives an open-loop query stream through the serving
+//! pipeline:
+//!
+//! ```text
+//! arrivals ──▶ bounded arrival queue ──▶ dynamic batcher ──▶ dispatch
+//!   (shed on overflow)      (BatchPolicy)        buffer ──▶ worker pool
+//! ```
+//!
+//! Time is *virtual nanoseconds*: the loop jumps between events (query
+//! arrival, batching deadline, worker completion), so a run is fully
+//! determined by its configuration and seeds — byte-identical across
+//! hosts, thread counts, and reruns. Each dispatched batch is served by a
+//! [`GatherEngine::lookup`] on the worker's own private memory system
+//! (the [`fafnir_core::ParallelBatchDriver`] replication pattern: `workers`
+//! independent accelerator instances, each with private channels), and the
+//! engine's per-query completion times ([`fafnir_core::LookupResult::per_query_ns`])
+//! become per-query completion events on the serving clock.
+
+use std::collections::VecDeque;
+
+use fafnir_core::placement::EmbeddingSource;
+use fafnir_core::{Batch, GatherEngine, IndexSet};
+use fafnir_workloads::arrival::ArrivalProcess;
+use fafnir_workloads::query::BatchGenerator;
+
+use crate::policy::BatchPolicy;
+use crate::queue::{Admission, ArrivalQueue, ShedPolicy};
+use crate::record::{BatchRecord, QueryOutcome, QueryRecord};
+use crate::ServeError;
+
+/// Configuration of one serving run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Open-loop arrival process (virtual time).
+    pub arrivals: ArrivalProcess,
+    /// Dynamic batching policy.
+    pub policy: BatchPolicy,
+    /// Worker replicas (independent engine instances with private memory
+    /// systems).
+    pub workers: usize,
+    /// Arrival-queue bound, in queries; admission control sheds beyond it.
+    pub queue_capacity: usize,
+    /// Formed batches that may wait for a free worker before the batcher
+    /// stops closing new ones.
+    pub dispatch_capacity: usize,
+    /// Load-shedding policy when the arrival queue is full.
+    pub shed: ShedPolicy,
+    /// Number of queries the load generator offers (the run's duration).
+    pub queries: usize,
+    /// Seed for the arrival schedule (query *contents* come from the
+    /// caller's [`BatchGenerator`], which carries its own seed).
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            arrivals: ArrivalProcess::Poisson { rate_qps: 1e6 },
+            policy: BatchPolicy::Adaptive { batch: 32, max_wait_ns: 500_000.0 },
+            workers: 4,
+            queue_capacity: 1_024,
+            dispatch_capacity: 8,
+            shed: ShedPolicy::DropNewest,
+            queries: 512,
+            seed: 7,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] for zero workers/queries/
+    /// capacities, invalid arrival or batching parameters, or a `Size`
+    /// policy whose batch can never fit the bounded queue (a guaranteed
+    /// livelock).
+    pub fn validate(&self) -> Result<(), ServeError> {
+        self.arrivals.validate().map_err(ServeError::InvalidConfig)?;
+        self.policy.validate()?;
+        if self.workers == 0 {
+            return Err(ServeError::InvalidConfig("workers must be non-zero".into()));
+        }
+        if self.queries == 0 {
+            return Err(ServeError::InvalidConfig("queries must be non-zero".into()));
+        }
+        if self.queue_capacity == 0 || self.dispatch_capacity == 0 {
+            return Err(ServeError::InvalidConfig(
+                "queue_capacity and dispatch_capacity must be non-zero".into(),
+            ));
+        }
+        if let BatchPolicy::Size { batch } = self.policy {
+            if batch > self.queue_capacity {
+                return Err(ServeError::InvalidConfig(format!(
+                    "size policy needs batch ({batch}) <= queue_capacity ({})",
+                    self.queue_capacity
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Everything a finished run produced: per-query and per-batch records in
+/// submission / formation order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOutcome {
+    /// One record per offered query, in submission order.
+    pub records: Vec<QueryRecord>,
+    /// One record per formed batch, in formation order.
+    pub batches: Vec<BatchRecord>,
+}
+
+impl ServeOutcome {
+    /// Queries served to completion.
+    #[must_use]
+    pub fn served(&self) -> usize {
+        self.records.iter().filter(|r| matches!(r.outcome, QueryOutcome::Served { .. })).count()
+    }
+
+    /// Queries rejected by admission control.
+    #[must_use]
+    pub fn shed(&self) -> usize {
+        self.records.iter().filter(|r| matches!(r.outcome, QueryOutcome::Shed { .. })).count()
+    }
+
+    /// Virtual time of the last host-side output (0 when nothing was
+    /// served).
+    #[must_use]
+    pub fn makespan_ns(&self) -> f64 {
+        self.records
+            .iter()
+            .filter_map(|r| match r.outcome {
+                QueryOutcome::Served { completion_ns, .. } => Some(completion_ns),
+                _ => None,
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+/// A closed batch waiting for a free worker.
+#[derive(Debug)]
+struct FormedBatch {
+    ids: Vec<usize>,
+    formed_ns: f64,
+}
+
+/// Runs one serving simulation to completion.
+///
+/// The load generator offers `config.queries` queries whose arrival times
+/// come from `config.arrivals` and whose index sets come from `traffic`
+/// (drawn in submission order, so a given generator seed always produces
+/// the same query stream). After the last arrival the batcher drains:
+/// remaining queued queries close immediately regardless of policy.
+///
+/// # Errors
+///
+/// Returns [`ServeError::InvalidConfig`] for invalid configurations and
+/// [`ServeError::Engine`] if the engine rejects a formed batch.
+pub fn simulate<E: GatherEngine, S: EmbeddingSource>(
+    engine: &E,
+    source: &S,
+    traffic: &mut BatchGenerator,
+    config: &ServeConfig,
+) -> Result<ServeOutcome, ServeError> {
+    config.validate()?;
+    let times = config.arrivals.schedule(config.queries, config.seed);
+    let shapes: Vec<IndexSet> = (0..config.queries).map(|_| traffic.query()).collect();
+    let mut records: Vec<QueryRecord> = times
+        .iter()
+        .map(|&arrival_ns| QueryRecord { arrival_ns, outcome: QueryOutcome::Pending })
+        .collect();
+    let mut batches: Vec<BatchRecord> = Vec::new();
+
+    let mut queue = ArrivalQueue::new(config.queue_capacity, config.shed);
+    let mut dispatch: VecDeque<FormedBatch> = VecDeque::new();
+    let mut workers: Vec<f64> = vec![0.0; config.workers];
+    let mut next_arrival = 0usize;
+    let mut now = 0.0f64;
+
+    loop {
+        // Admit arrivals due by now.
+        while next_arrival < times.len() && times[next_arrival] <= now {
+            let id = next_arrival;
+            next_arrival += 1;
+            match queue.offer(id, times[id]) {
+                Admission::Admitted => {}
+                Admission::SheddedArrival => {
+                    records[id].outcome = QueryOutcome::Shed { shed_ns: times[id] };
+                }
+                Admission::SheddedOldest(evicted) => {
+                    records[evicted].outcome = QueryOutcome::Shed { shed_ns: times[id] };
+                }
+            }
+        }
+
+        // Close batches and dispatch them until neither step can proceed.
+        let draining = next_arrival == times.len();
+        loop {
+            let mut progressed = false;
+            while dispatch.len() < config.dispatch_capacity {
+                let Some(oldest) = queue.oldest_arrival_ns() else { break };
+                if !(config.policy.ready(queue.len(), oldest, now) || draining) {
+                    break;
+                }
+                let ids = queue.take(config.policy.max_batch());
+                dispatch.push_back(FormedBatch { ids, formed_ns: now });
+                progressed = true;
+            }
+            while !dispatch.is_empty() {
+                let Some(worker) = idle_worker(&workers, now) else { break };
+                let formed = dispatch.pop_front().expect("dispatch non-empty");
+                serve_batch(
+                    engine,
+                    source,
+                    &shapes,
+                    formed,
+                    worker,
+                    now,
+                    &mut workers,
+                    &mut records,
+                    &mut batches,
+                )?;
+                progressed = true;
+            }
+            if !progressed {
+                break;
+            }
+        }
+
+        if next_arrival == times.len() && queue.is_empty() && dispatch.is_empty() {
+            break;
+        }
+
+        // Jump to the next event: arrival, batching deadline, or worker
+        // becoming free. All candidates are strictly in the future: due
+        // arrivals were admitted above, expired deadlines already closed
+        // their batch (or are excluded because the dispatch buffer is
+        // full, in which case a busy worker is the unblocking event).
+        let mut t_next = f64::INFINITY;
+        if next_arrival < times.len() {
+            t_next = t_next.min(times[next_arrival]);
+        }
+        if dispatch.len() < config.dispatch_capacity && !draining {
+            if let Some(oldest) = queue.oldest_arrival_ns() {
+                if let Some(deadline) = config.policy.deadline_ns(oldest) {
+                    t_next = t_next.min(deadline);
+                }
+            }
+        }
+        if !dispatch.is_empty() {
+            let free = workers.iter().copied().filter(|&f| f > now).fold(f64::INFINITY, f64::min);
+            t_next = t_next.min(free);
+        }
+        // Every candidate above is strictly in the future: due arrivals
+        // were admitted, expired deadlines closed their batch (`ready`
+        // compares against the exact deadline expression), and idle
+        // workers already drained the dispatch buffer. A non-advancing
+        // clock is therefore a livelock, not an event.
+        if !t_next.is_finite() || t_next <= now {
+            return Err(ServeError::InvalidConfig(format!(
+                "simulation stalled at {now} ns with {} queued queries — \
+                 the batching policy can never trigger under this configuration",
+                queue.len()
+            )));
+        }
+        now = t_next;
+    }
+
+    Ok(ServeOutcome { records, batches })
+}
+
+/// The idle worker (free at or before `now`) that has been idle longest;
+/// ties break on the lowest index for determinism.
+fn idle_worker(workers: &[f64], now: f64) -> Option<usize> {
+    workers
+        .iter()
+        .enumerate()
+        .filter(|&(_, &free_at)| free_at <= now)
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(index, _)| index)
+}
+
+/// Serves one formed batch on `worker`, stamping member completions.
+#[allow(clippy::too_many_arguments)]
+fn serve_batch<E: GatherEngine, S: EmbeddingSource>(
+    engine: &E,
+    source: &S,
+    shapes: &[IndexSet],
+    formed: FormedBatch,
+    worker: usize,
+    now: f64,
+    workers: &mut [f64],
+    records: &mut [QueryRecord],
+    batches: &mut Vec<BatchRecord>,
+) -> Result<(), ServeError> {
+    let batch = Batch::from_index_sets(formed.ids.iter().map(|&id| shapes[id].clone()));
+    let result = engine.lookup(&batch, source).map_err(ServeError::Engine)?;
+    for &(member, completion) in &result.per_query_ns {
+        let id = formed.ids[member.0 as usize];
+        records[id].outcome = QueryOutcome::Served {
+            batch: batches.len(),
+            formed_ns: formed.formed_ns,
+            dispatched_ns: now,
+            completion_ns: now + completion,
+        };
+    }
+    workers[worker] = now + result.latency.total_ns;
+    batches.push(BatchRecord {
+        queries: formed.ids,
+        formed_ns: formed.formed_ns,
+        dispatched_ns: now,
+        worker,
+        service_ns: result.latency.total_ns,
+        references: result.traffic.total_references,
+        vectors_read: result.traffic.vectors_read,
+    });
+    Ok(())
+}

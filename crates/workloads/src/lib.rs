@@ -3,6 +3,8 @@
 //! The paper evaluates FAFNIR on embedding lookup driven by
 //! recommendation-system traffic. This crate provides the workload side:
 //!
+//! * [`arrival`] — open-loop Poisson and on/off (MMPP-style) arrival
+//!   processes, the load side of the `fafnir-serve` serving simulation;
 //! * [`embedding`] — embedding-table sets mapped to DRAM per Fig. 4b,
 //!   implementing [`fafnir_core::EmbeddingSource`];
 //! * [`zipf`] — a Zipf sampler (production embedding traffic is highly
@@ -32,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrival;
 pub mod dlrm;
 pub mod embedding;
 pub mod query;
@@ -42,6 +45,7 @@ pub mod tablewise;
 pub mod trace;
 pub mod zipf;
 
+pub use arrival::ArrivalProcess;
 pub use dlrm::{DlrmBreakdown, DlrmModel, MlpSpec};
 pub use embedding::{EmbeddingTableSet, TablePlacement};
 pub use query::{BatchGenerator, Popularity};

@@ -33,3 +33,13 @@ bench-driver:
 # pass --force to accept one anyway: `just bench-fastforward --force`.
 bench-fastforward *ARGS:
     cargo bench -p fafnir-bench --bench cycle_fastforward -- {{ARGS}}
+
+# Regenerate the serving measurement (BENCH_serving.json). Same guard as
+# bench-fastforward: `just bench-serving --force` accepts a regression.
+bench-serving *ARGS:
+    cargo bench -p fafnir-bench --bench serving -- {{ARGS}}
+
+# A quick look at the serving simulator: deadline batching at 2 Mqps.
+serve-demo:
+    cargo run --release -p fafnir-cli -- serve --rate 2e6 --policy deadline \
+        --max-wait-ns 500000 --workers 4 --seed 7
