@@ -52,6 +52,9 @@ pub fn usage() -> String {
                 --shed drop-newest|drop-oldest (drop-newest)\n\
                 --skew S (1.15) --universe U (2000) --query-len Q (16)\n\
                 --seed X (7) --no-dedup --json\n\
+                --faults none|outage|slow:MULT:N|crash:MTTF:MTTR (none)\n\
+                --timeout-ns T (off) --retries R (0) --backoff-ns B (1000)\n\
+                --hedge-ns H (off)\n\
        spmv     run y = A·x on FAFNIR and the Two-Step baseline\n\
                 --gen uniform|rmat|banded|spd (rmat) --rows N (4096)\n\
                 --density D (0.01, uniform) --nnz N (rows*8, rmat)\n\
@@ -172,7 +175,9 @@ fn lookup(args: &ParsedArgs) -> Result<String, ArgError> {
 }
 
 fn serve(args: &ParsedArgs) -> Result<String, ArgError> {
-    use fafnir_serve::{simulate, BatchPolicy, ServeConfig, ServeReport, ShedPolicy};
+    use fafnir_serve::{
+        simulate_resilient, BatchPolicy, ResilienceConfig, ServeConfig, ServeReport, ShedPolicy,
+    };
     use fafnir_workloads::arrival::ArrivalProcess;
 
     let rate: f64 = args.number_or("rate", 1e6)?;
@@ -226,6 +231,23 @@ fn serve(args: &ParsedArgs) -> Result<String, ArgError> {
         ..ServeConfig::default()
     };
 
+    let faults = parse_fault_plan(args.get_or("faults", "none"), workers, queries, rate, seed)?;
+    let timeout_ns = match args.get("timeout-ns") {
+        None => None,
+        Some(_) => Some(args.number_or("timeout-ns", 0.0f64)?),
+    };
+    let hedge_ns = match args.get("hedge-ns") {
+        None => None,
+        Some(_) => Some(args.number_or("hedge-ns", 0.0f64)?),
+    };
+    let resilience = ResilienceConfig {
+        faults,
+        timeout_ns,
+        retries: args.number_or("retries", 0u32)?,
+        backoff_ns: args.number_or("backoff-ns", 1_000.0f64)?,
+        hedge_ns,
+    };
+
     let mem = MemoryConfig::ddr4_2400_4ch();
     let engine_config =
         FafnirConfig { dedup: !args.switch("no-dedup"), ..FafnirConfig::paper_default() };
@@ -235,13 +257,60 @@ fn serve(args: &ParsedArgs) -> Result<String, ArgError> {
         if skew == 0.0 { Popularity::Uniform } else { Popularity::Zipf { exponent: skew } };
     let mut traffic = BatchGenerator::new(popularity, universe, query_len, seed);
 
-    let outcome =
-        simulate(&engine, &source, &mut traffic, &config).map_err(|e| ArgError(e.to_string()))?;
-    let report = ServeReport::new(&config, &outcome);
+    let outcome = simulate_resilient(&engine, &source, &mut traffic, &config, &resilience)
+        .map_err(|e| ArgError(e.to_string()))?;
+    let report = ServeReport::with_resilience(&config, &resilience, &outcome);
     if args.switch("json") {
         Ok(report.to_json())
     } else {
         Ok(report.render_table())
+    }
+}
+
+/// Parses the `--faults` grammar: `none`, `outage`, `slow:MULT:N`
+/// (first N workers at MULT× service time), or `crash:MTTF:MTTR`
+/// (seeded crash/restart churn in ns, horizon 10× the nominal run length).
+fn parse_fault_plan(
+    spec: &str,
+    workers: usize,
+    queries: usize,
+    rate_qps: f64,
+    seed: u64,
+) -> Result<fafnir_workloads::faults::FaultPlan, ArgError> {
+    use fafnir_workloads::faults::FaultPlan;
+    let parse_field = |name: &str, raw: &str| -> Result<f64, ArgError> {
+        raw.parse().map_err(|_| ArgError(format!("--faults {spec}: `{raw}` is not a valid {name}")))
+    };
+    let parts: Vec<&str> = spec.split(':').collect();
+    match parts.as_slice() {
+        ["none"] => Ok(FaultPlan::none(workers)),
+        ["outage"] => Ok(FaultPlan::total_outage(workers)),
+        ["slow", multiplier, slowed] => {
+            let multiplier = parse_field("multiplier", multiplier)?;
+            let slowed = slowed.parse::<usize>().map_err(|_| {
+                ArgError(format!("--faults {spec}: `{slowed}` is not a valid worker count"))
+            })?;
+            if slowed > workers {
+                return Err(ArgError(format!(
+                    "--faults {spec}: cannot slow {slowed} of {workers} workers"
+                )));
+            }
+            Ok(FaultPlan::slow_workers(workers, slowed, multiplier))
+        }
+        ["crash", mttf, mttr] => {
+            let mttf_ns = parse_field("MTTF", mttf)?;
+            let mttr_ns = parse_field("MTTR", mttr)?;
+            if !(mttf_ns.is_finite() && mttf_ns > 0.0 && mttr_ns.is_finite() && mttr_ns > 0.0) {
+                return Err(ArgError(format!(
+                    "--faults {spec}: MTTF and MTTR must be positive and finite"
+                )));
+            }
+            let horizon_ns = (queries as f64 / rate_qps.max(1.0)) * 1e9 * 10.0;
+            Ok(FaultPlan::crash_restart(workers, mttf_ns, mttr_ns, horizon_ns.max(1.0), seed))
+        }
+        _ => Err(ArgError(format!(
+            "unknown --faults spec `{spec}` (none|outage|slow:MULT:N|crash:MTTF:MTTR)"
+        ))),
     }
 }
 
@@ -582,6 +651,38 @@ mod tests {
         assert!(run_line("serve --shed bogus").unwrap_err().0.contains("shed"));
         assert!(run_line("serve --workers 0 --duration-queries 8").is_err());
         assert!(run_line("serve --rate -5 --duration-queries 8").is_err());
+        assert!(run_line("serve --faults bogus").unwrap_err().0.contains("--faults"));
+        assert!(run_line("serve --faults slow:4").unwrap_err().0.contains("--faults"));
+        assert!(run_line("serve --faults slow:4:9 --workers 2").is_err());
+        assert!(run_line("serve --faults crash:0:100 --duration-queries 8").is_err());
+        assert!(run_line("serve --timeout-ns -1 --duration-queries 8").is_err());
+    }
+
+    #[test]
+    fn serve_fault_flags_surface_resilience_metrics() {
+        let line = "serve --rate 2e6 --policy deadline --max-wait-ns 20000 --workers 2 \
+                    --duration-queries 64 --seed 7 --faults slow:8:1 --hedge-ns 3000 --json";
+        let out = run_line(line).unwrap();
+        for key in ["\"hedges\"", "\"hedge_wins\"", "\"worker_availability\"", "\"p999_ns\""] {
+            assert!(out.contains(key), "missing {key} in:\n{out}");
+        }
+        assert_eq!(out, run_line(line).unwrap(), "faulty serve runs must be deterministic");
+
+        let table = run_line(
+            "serve --rate 2e6 --workers 2 --duration-queries 64 \
+             --faults crash:20000:10000 --retries 3 --timeout-ns 50000",
+        )
+        .unwrap();
+        assert!(table.contains("resilience"), "table must show the resilience row:\n{table}");
+    }
+
+    #[test]
+    fn serve_total_outage_sheds_everything_with_null_latency() {
+        let out =
+            run_line("serve --rate 2e6 --workers 2 --duration-queries 32 --faults outage --json")
+                .unwrap();
+        assert!(out.contains("\"served\": 0"), "outage must serve nothing:\n{out}");
+        assert!(out.contains("\"latency\": null"), "empty sample must be null:\n{out}");
     }
 
     #[test]

@@ -113,7 +113,7 @@ impl SetBuilder {
 ///
 /// Headers are small (a query holds at most ~16 indices), so a sorted
 /// sequence beats hash sets and mirrors the fixed-width bit fields of the
-/// hardware. Sets of up to [`INLINE_CAP`] indices are stored inline — no
+/// hardware. Sets of up to `INLINE_CAP` (8) indices are stored inline — no
 /// heap allocation — which covers the overwhelming majority of headers the
 /// tree moves; larger sets spill to a heap vector transparently. Two sets
 /// with the same contents are equal and hash identically regardless of

@@ -247,6 +247,14 @@ impl ChannelController {
         &self.stats
     }
 
+    /// Zeroes the accumulated counters. Callers are responsible for only
+    /// doing this on an idle controller — see
+    /// [`crate::MemorySystem::reset_stats`] for the checked phase-boundary
+    /// entry point.
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
     /// Data-bus occupancy trackers (one, or one per rank under the NDP data
     /// path).
     #[must_use]

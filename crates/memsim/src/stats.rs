@@ -6,8 +6,11 @@ use crate::Cycle;
 
 /// Counters accumulated over a simulation run.
 ///
-/// All counters are monotone; [`MemoryStats::reset`] zeroes them between
-/// experiment phases.
+/// All counters are monotone. [`MemoryStats::reset`] zeroes a standalone
+/// block; to reset a live [`crate::MemorySystem`] between experiment
+/// phases use [`crate::MemorySystem::reset_stats`], which checks that no
+/// request is mid-flight (a mid-flight reset would split one request's
+/// counters across two phases).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct MemoryStats {
     /// Completed read bursts.

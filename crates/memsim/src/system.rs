@@ -247,6 +247,35 @@ impl MemorySystem {
         all
     }
 
+    /// Whether the whole system is quiescent: no request partially
+    /// completed and no controller with queued bursts.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_empty() && self.controllers.iter().all(ChannelController::is_idle)
+    }
+
+    /// Zeroes every accumulated counter (request-level and per-channel) at
+    /// an experiment-phase boundary.
+    ///
+    /// Resetting while requests are in flight would split one request's
+    /// counters across two phases (its bursts issued before the reset
+    /// vanish, but its completion latency lands in the new phase), so this
+    /// is the checked entry point: it debug-asserts the system is idle.
+    /// Drain with [`MemorySystem::run_until_idle`] first.
+    pub fn reset_stats(&mut self) {
+        debug_assert!(
+            self.is_idle(),
+            "reset_stats on a busy memory system: {} pending requests, {} queued bursts — \
+             counters of in-flight work would be split across phases",
+            self.pending.len(),
+            self.total_queued()
+        );
+        self.request_stats.reset();
+        for controller in &mut self.controllers {
+            controller.reset_stats();
+        }
+    }
+
     /// Merged counters across all channels plus request-level stats.
     #[must_use]
     pub fn stats(&self) -> MemoryStats {
@@ -353,6 +382,33 @@ mod tests {
         mem.run_until_idle();
         let done = mem.completion(id).unwrap();
         assert!(done.start_cycle >= 500);
+    }
+
+    #[test]
+    fn reset_stats_gives_clean_per_phase_counters() {
+        let mut mem = MemorySystem::new(MemoryConfig::ddr4_2400_4ch());
+        mem.submit(Request::read(0x10000, 512));
+        mem.run_until_idle();
+        assert!(mem.is_idle());
+        let phase_one = mem.stats();
+        assert_eq!(phase_one.reads, 8);
+        mem.reset_stats();
+        assert_eq!(mem.stats(), MemoryStats::default());
+        // Phase two counts only its own work — nothing carried over.
+        mem.submit(Request::read(0x20000, 512));
+        mem.run_until_idle();
+        assert_eq!(mem.stats().reads, 8);
+        assert_eq!(mem.stats().requests_completed, 1);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "reset_stats on a busy memory system")]
+    fn reset_stats_mid_flight_is_rejected() {
+        let mut mem = MemorySystem::new(MemoryConfig::ddr4_2400_4ch());
+        mem.submit(Request::read(0, 512));
+        assert!(!mem.is_idle());
+        mem.reset_stats(); // Counters of the in-flight read would be split.
     }
 
     #[test]

@@ -16,12 +16,22 @@
 //! * a worker pool dispatches formed batches onto replicated engine
 //!   instances, each with a private memory system (the
 //!   [`fafnir_core::ParallelBatchDriver`] replication pattern);
-//! * [`ServeReport`] aggregates throughput, utilization, shed rate,
-//!   nearest-rank latency percentiles (p50/p95/p99) and DRAM reads per
-//!   query, rendered as a table or byte-stable JSON.
+//! * a fault-injection and resilience layer
+//!   ([`fafnir_workloads::faults::FaultPlan`] + [`ResilienceConfig`])
+//!   crashes, restarts and slows workers on a seeded schedule while the
+//!   dispatcher fights back with per-batch timeouts, bounded
+//!   retry-with-backoff, hedged dispatch, and shed escalation under a
+//!   permanent total outage ([`sim::simulate_resilient`]);
+//! * [`ServeReport`] aggregates throughput vs goodput, window-normalized
+//!   utilization, shed rate, retry/timeout/hedge counters, per-worker
+//!   availability and busy fractions, nearest-rank latency percentiles
+//!   (p50/p95/p99/p99.9) and DRAM reads per query, rendered as a table or
+//!   byte-stable JSON.
 //!
 //! Everything is deterministic: the same configuration and seeds produce a
-//! byte-identical report on any host.
+//! byte-identical report on any host, a zero-fault plan reproduces the
+//! fault-free run byte for byte, and every report-level metric is
+//! invariant under worker renumbering.
 //!
 //! ```
 //! use fafnir_core::{FafnirEngine, StripedSource};
@@ -61,9 +71,9 @@ pub mod sim;
 
 pub use policy::BatchPolicy;
 pub use queue::ShedPolicy;
-pub use record::{BatchRecord, QueryOutcome, QueryRecord};
+pub use record::{AttemptRecord, AttemptResult, BatchRecord, QueryOutcome, QueryRecord};
 pub use report::{LatencyStats, ServeReport};
-pub use sim::{simulate, ServeConfig, ServeOutcome};
+pub use sim::{simulate, simulate_resilient, ResilienceConfig, ServeConfig, ServeOutcome};
 
 /// Errors a serving simulation can produce.
 #[derive(Debug, Clone, PartialEq)]

@@ -1,4 +1,4 @@
-//! Per-query and per-batch accounting in virtual nanoseconds.
+//! Per-query, per-batch, and per-attempt accounting in virtual nanoseconds.
 
 /// What happened to one submitted query.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -6,10 +6,17 @@ pub enum QueryOutcome {
     /// Still queued (only observable mid-simulation; a finished run has
     /// none of these).
     Pending,
-    /// Rejected by admission control at `shed_ns`.
+    /// Rejected by admission control at `shed_ns` (queue overflow, or the
+    /// shed-escalation path when every worker is permanently down).
     Shed {
         /// Virtual time the query was dropped.
         shed_ns: f64,
+    },
+    /// Dispatched but never completed: every service attempt crashed or
+    /// timed out and the retry budget ran out.
+    Failed {
+        /// Virtual time the last attempt gave up.
+        failed_ns: f64,
     },
     /// Served to completion.
     Served {
@@ -17,7 +24,8 @@ pub enum QueryOutcome {
         batch: usize,
         /// Virtual time the batcher closed that batch.
         formed_ns: f64,
-        /// Virtual time a worker started serving that batch.
+        /// Virtual time the *winning* service attempt started (with retries
+        /// and hedging this is the attempt whose output reached the host).
         dispatched_ns: f64,
         /// Virtual time this query's output reached the host.
         completion_ns: f64,
@@ -29,7 +37,7 @@ pub enum QueryOutcome {
 pub struct QueryRecord {
     /// Virtual arrival time.
     pub arrival_ns: f64,
-    /// Outcome (shed or served with its timeline).
+    /// Outcome (shed, failed, or served with its timeline).
     pub outcome: QueryOutcome,
 }
 
@@ -44,7 +52,8 @@ impl QueryRecord {
         }
     }
 
-    /// Time the closed batch waited for a free worker, if served.
+    /// Time the closed batch waited for its winning dispatch, if served
+    /// (worker wait plus any failed attempts and retry backoff).
     #[must_use]
     pub fn dispatch_wait_ns(&self) -> Option<f64> {
         match self.outcome {
@@ -55,8 +64,8 @@ impl QueryRecord {
         }
     }
 
-    /// Queue wait: arrival → dispatch (batching plus worker wait), if
-    /// served.
+    /// Queue wait: arrival → winning dispatch (batching plus worker wait
+    /// plus retries), if served.
     #[must_use]
     pub fn queue_wait_ns(&self) -> Option<f64> {
         match self.outcome {
@@ -65,7 +74,8 @@ impl QueryRecord {
         }
     }
 
-    /// Service time: dispatch → this query's output at the host, if served.
+    /// Service time: winning dispatch → this query's output at the host, if
+    /// served.
     #[must_use]
     pub fn service_ns(&self) -> Option<f64> {
         match self.outcome {
@@ -86,23 +96,73 @@ impl QueryRecord {
     }
 }
 
-/// One formed batch's journey through a worker.
+/// One formed batch's journey through the worker pool.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchRecord {
     /// Submission-order ids of the member queries.
     pub queries: Vec<usize>,
     /// Virtual time the batcher closed the batch.
     pub formed_ns: f64,
-    /// Virtual time a worker started serving it.
+    /// Virtual time the winning (or, for a failed batch, the first) service
+    /// attempt started.
     pub dispatched_ns: f64,
-    /// Worker replica that served it.
+    /// Worker replica whose attempt won (for a failed batch: the last
+    /// attempt's worker).
     pub worker: usize,
-    /// Engine service time (dispatch → last output).
+    /// Winning attempt's engine service time, slowdown included (0 for a
+    /// failed batch).
     pub service_ns: f64,
-    /// Index references in the batch (`Σ |query|`).
+    /// Index references in the batch (`Σ |query|`), counted once.
     pub references: u64,
-    /// Deduplicated DRAM vector reads the batch issued.
+    /// Deduplicated DRAM vector reads summed over *every started attempt* —
+    /// retries and hedges re-issue the batch's reads, which is exactly the
+    /// extra-DRAM cost of resilience.
     pub vectors_read: u64,
+    /// Service attempts started (first dispatch, retries, and the hedge).
+    pub attempts: u32,
+    /// Whether a hedge attempt was launched.
+    pub hedged: bool,
+    /// Whether the hedge attempt delivered the winning completion.
+    pub hedge_won: bool,
+    /// Whether the batch exhausted its retry budget and failed.
+    pub failed: bool,
+}
+
+/// How one service attempt ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttemptResult {
+    /// Delivered the batch's outputs to the host.
+    Won,
+    /// Cancelled because the other (primary/hedge) attempt won first.
+    Cancelled,
+    /// The worker crashed mid-service; the work was lost.
+    Crashed,
+    /// The dispatcher gave up at the per-batch timeout; the worker kept
+    /// crunching to its natural finish (wasted work).
+    TimedOut,
+    /// Abandoned by shed escalation (permanent total outage).
+    Abandoned,
+}
+
+/// One service attempt of one formed batch on one worker. The busy span
+/// `[start_ns, busy_until_ns]` is what utilization and per-worker busy
+/// fractions are computed from — it includes wasted work (timed-out
+/// attempts crunch to their natural finish; cancelled hedges stop at the
+/// winner's completion).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttemptRecord {
+    /// Index of the formed batch (matches [`BatchRecord`] order).
+    pub batch: usize,
+    /// Worker replica the attempt ran on.
+    pub worker: usize,
+    /// Whether this was the hedge (duplicate) attempt.
+    pub hedge: bool,
+    /// Virtual time the attempt started.
+    pub start_ns: f64,
+    /// Virtual time the worker stopped working on it.
+    pub busy_until_ns: f64,
+    /// How the attempt ended.
+    pub result: AttemptResult,
 }
 
 #[cfg(test)]
@@ -128,8 +188,12 @@ mod tests {
     }
 
     #[test]
-    fn shed_and_pending_records_have_no_latency() {
-        for outcome in [QueryOutcome::Pending, QueryOutcome::Shed { shed_ns: 5.0 }] {
+    fn shed_failed_and_pending_records_have_no_latency() {
+        for outcome in [
+            QueryOutcome::Pending,
+            QueryOutcome::Shed { shed_ns: 5.0 },
+            QueryOutcome::Failed { failed_ns: 9.0 },
+        ] {
             let record = QueryRecord { arrival_ns: 1.0, outcome };
             assert_eq!(record.latency_ns(), None);
             assert_eq!(record.queue_wait_ns(), None);

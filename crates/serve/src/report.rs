@@ -1,15 +1,29 @@
-//! Aggregated serving metrics: throughput, utilization, shed rate, and
-//! nearest-rank latency percentiles, with deterministic table and JSON
-//! renderings.
+//! Aggregated serving metrics: throughput vs goodput, utilization, shed
+//! rate, resilience counters, and nearest-rank latency percentiles, with
+//! deterministic table and JSON renderings.
+//!
+//! Time-normalized metrics (utilization, goodput, per-worker busy and
+//! availability fractions) are measured over the *active window*
+//! `[first arrival, last worker activity]`, not `[0, makespan]`: a
+//! delayed-start arrival schedule would otherwise dilute utilization with
+//! dead air the system never saw. Per-worker fractions are reported as
+//! value-sorted arrays so the report is invariant under worker
+//! renumbering.
 
 use fafnir_core::nearest_rank_percentile_ns;
 
-use crate::record::QueryRecord;
-use crate::sim::{ServeConfig, ServeOutcome};
+use crate::record::{AttemptResult, QueryRecord};
+use crate::sim::{ResilienceConfig, ServeConfig, ServeOutcome};
 
 /// Nearest-rank summary of one latency sample, in nanoseconds.
+///
+/// An empty sample keeps the documented [`nearest_rank_percentile_ns`]
+/// convention for library callers — every field is `0.0` and `count` is 0
+/// — but serializes as JSON `null` (a percentile of nothing is not 0 ns).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct LatencyStats {
+    /// Number of samples summarized (0 ⇒ every statistic is a placeholder).
+    pub count: usize,
     /// Arithmetic mean.
     pub mean_ns: f64,
     /// Median (p50).
@@ -18,6 +32,8 @@ pub struct LatencyStats {
     pub p95_ns: f64,
     /// 99th percentile.
     pub p99_ns: f64,
+    /// 99.9th percentile (the hedging headline metric).
+    pub p999_ns: f64,
     /// Maximum (p100).
     pub max_ns: f64,
 }
@@ -30,17 +46,39 @@ impl LatencyStats {
             return Self::default();
         }
         Self {
+            count: samples.len(),
             mean_ns: samples.iter().sum::<f64>() / samples.len() as f64,
             p50_ns: nearest_rank_percentile_ns(samples, 0.5),
             p95_ns: nearest_rank_percentile_ns(samples, 0.95),
             p99_ns: nearest_rank_percentile_ns(samples, 0.99),
+            p999_ns: nearest_rank_percentile_ns(samples, 0.999),
             max_ns: nearest_rank_percentile_ns(samples, 1.0),
         }
     }
+
+    /// JSON rendering: an object with fixed key order, or `null` when the
+    /// sample was empty.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        if self.count == 0 {
+            return "null".to_string();
+        }
+        format!(
+            "{{\"count\": {}, \"mean_ns\": {:.3}, \"p50_ns\": {:.3}, \"p95_ns\": {:.3}, \
+             \"p99_ns\": {:.3}, \"p999_ns\": {:.3}, \"max_ns\": {:.3}}}",
+            self.count,
+            self.mean_ns,
+            self.p50_ns,
+            self.p95_ns,
+            self.p99_ns,
+            self.p999_ns,
+            self.max_ns
+        )
+    }
 }
 
-/// The serving-run report: configuration echo plus measured load, latency
-/// and data-movement metrics.
+/// The serving-run report: configuration echo plus measured load, latency,
+/// resilience and data-movement metrics.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeReport {
     /// Batching policy name (`size` / `deadline` / `adaptive`).
@@ -59,8 +97,10 @@ pub struct ServeReport {
     pub offered: usize,
     /// Queries served to completion.
     pub served: usize,
-    /// Queries rejected by admission control.
+    /// Queries rejected by admission control (including shed escalation).
     pub shed: usize,
+    /// Queries whose batch exhausted its retry budget.
+    pub failed: usize,
     /// Fraction of offered queries shed.
     pub shed_rate: f64,
     /// Batches formed.
@@ -69,35 +109,75 @@ pub struct ServeReport {
     pub mean_batch_size: f64,
     /// Virtual time of the last host-side output.
     pub makespan_ns: f64,
-    /// Served throughput in queries per second.
+    /// Active window: first arrival → last worker activity or output.
+    pub window_ns: f64,
+    /// Served throughput over `[0, makespan]` (the classic headline rate).
     pub throughput_qps: f64,
-    /// Busy fraction of the worker pool (`Σ service / (workers × makespan)`).
+    /// Goodput: completed queries per second of *active window* — what the
+    /// system actually delivered while it was live, vs the offered rate.
+    pub goodput_qps: f64,
+    /// Busy fraction of the worker pool over the active window, wasted
+    /// work (timed-out and cancelled attempts) included.
     pub utilization: f64,
+    /// Retry redispatches after crashed or timed-out attempts.
+    pub retries: usize,
+    /// Attempts abandoned at the per-batch timeout.
+    pub timeouts: usize,
+    /// Attempts lost to worker crashes.
+    pub crashes: usize,
+    /// Hedge (duplicate) attempts launched.
+    pub hedges: usize,
+    /// Batches whose hedge attempt beat the primary.
+    pub hedge_wins: usize,
+    /// Per-worker up-time fraction over the active window, sorted
+    /// ascending (renumbering-invariant).
+    pub worker_availability: Vec<f64>,
+    /// Per-worker busy fraction over the active window, sorted ascending
+    /// (renumbering-invariant).
+    pub worker_busy: Vec<f64>,
     /// End-to-end latency (arrival → output at host) of served queries.
     pub latency: LatencyStats,
-    /// Queue wait (arrival → dispatch: batching plus worker wait).
+    /// Queue wait (arrival → winning dispatch: batching, worker wait,
+    /// retries).
     pub queue_wait: LatencyStats,
-    /// Service time (dispatch → output at host).
+    /// Service time (winning dispatch → output at host).
     pub service: LatencyStats,
-    /// Index references across served batches.
+    /// Index references across formed batches.
     pub references: u64,
-    /// Deduplicated DRAM vector reads across served batches.
+    /// Deduplicated DRAM vector reads across *all started attempts*
+    /// (retries and hedges re-read, which is the DRAM cost of resilience).
     pub vectors_read: u64,
     /// DRAM vector reads per served query (the Fig. 3 dedup win under
-    /// dynamic batching).
+    /// dynamic batching; rises when hedging or retries re-read).
     pub dram_reads_per_query: f64,
     /// Fraction of references dedup removed (`1 − reads/references`).
     pub dedup_savings: f64,
 }
 
 impl ServeReport {
-    /// Builds the report for a finished run.
+    /// Builds the report for a fault-free run.
     #[must_use]
     pub fn new(config: &ServeConfig, outcome: &ServeOutcome) -> Self {
+        Self::with_resilience(config, &ResilienceConfig::none(config.workers), outcome)
+    }
+
+    /// Builds the report for a run under a fault plan. The plan is needed
+    /// to score per-worker availability over the measured window.
+    #[must_use]
+    #[allow(clippy::too_many_lines)]
+    pub fn with_resilience(
+        config: &ServeConfig,
+        resilience: &ResilienceConfig,
+        outcome: &ServeOutcome,
+    ) -> Self {
         let served = outcome.served();
         let shed = outcome.shed();
+        let failed = outcome.failed();
         let offered = outcome.records.len();
         let makespan_ns = outcome.makespan_ns();
+        let window_start = outcome.first_arrival_ns();
+        let window_end = outcome.window_end_ns();
+        let window_ns = (window_end - window_start).max(0.0);
         let latencies: Vec<f64> =
             outcome.records.iter().filter_map(QueryRecord::latency_ns).collect();
         let queue_waits: Vec<f64> =
@@ -106,7 +186,39 @@ impl ServeReport {
             outcome.records.iter().filter_map(QueryRecord::service_ns).collect();
         let references: u64 = outcome.batches.iter().map(|b| b.references).sum();
         let vectors_read: u64 = outcome.batches.iter().map(|b| b.vectors_read).sum();
-        let busy_ns: f64 = outcome.batches.iter().map(|b| b.service_ns).sum();
+
+        let mut busy_per_worker = vec![0.0f64; config.workers];
+        for attempt in &outcome.attempts {
+            busy_per_worker[attempt.worker] += attempt.busy_until_ns - attempt.start_ns;
+        }
+        let busy_ns: f64 = busy_per_worker.iter().sum();
+        let mut worker_busy: Vec<f64> = busy_per_worker
+            .iter()
+            .map(|&b| if window_ns > 0.0 { b / window_ns } else { 0.0 })
+            .collect();
+        let mut worker_availability: Vec<f64> = (0..config.workers)
+            .map(|w| {
+                if window_ns > 0.0 {
+                    resilience.faults.worker(w).availability(window_start, window_end)
+                } else {
+                    f64::from(u8::from(resilience.faults.worker(w).is_up(window_start)))
+                }
+            })
+            .collect();
+        worker_busy.sort_by(f64::total_cmp);
+        worker_availability.sort_by(f64::total_cmp);
+
+        let crashes =
+            outcome.attempts.iter().filter(|a| a.result == AttemptResult::Crashed).count();
+        let timeouts =
+            outcome.attempts.iter().filter(|a| a.result == AttemptResult::TimedOut).count();
+        let hedges = outcome.attempts.iter().filter(|a| a.hedge).count();
+        let hedge_wins = outcome.batches.iter().filter(|b| b.hedge_won).count();
+        let non_hedge_attempts: usize =
+            outcome.batches.iter().map(|b| b.attempts as usize).sum::<usize>() - hedges;
+        let dispatched_batches = outcome.batches.iter().filter(|b| b.attempts > 0).count();
+        let retries = non_hedge_attempts - dispatched_batches;
+
         Self {
             policy: config.policy.name().to_string(),
             shed_policy: config.shed.name().to_string(),
@@ -117,6 +229,7 @@ impl ServeReport {
             offered,
             served,
             shed,
+            failed,
             shed_rate: if offered == 0 { 0.0 } else { shed as f64 / offered as f64 },
             batches: outcome.batches.len(),
             mean_batch_size: if outcome.batches.is_empty() {
@@ -125,16 +238,25 @@ impl ServeReport {
                 served as f64 / outcome.batches.len() as f64
             },
             makespan_ns,
+            window_ns,
             throughput_qps: if makespan_ns <= 0.0 {
                 0.0
             } else {
                 served as f64 / (makespan_ns * 1e-9)
             },
-            utilization: if makespan_ns <= 0.0 {
+            goodput_qps: if window_ns <= 0.0 { 0.0 } else { served as f64 / (window_ns * 1e-9) },
+            utilization: if window_ns <= 0.0 {
                 0.0
             } else {
-                busy_ns / (config.workers as f64 * makespan_ns)
+                busy_ns / (config.workers as f64 * window_ns)
             },
+            retries,
+            timeouts,
+            crashes,
+            hedges,
+            hedge_wins,
+            worker_availability,
+            worker_busy,
             latency: LatencyStats::of(&latencies),
             queue_wait: LatencyStats::of(&queue_waits),
             service: LatencyStats::of(&services),
@@ -158,11 +280,14 @@ impl ServeReport {
     pub fn render_table(&self) -> String {
         let row = |label: &str, value: String| format!("  {label:<22} {value}\n");
         let stats = |label: &str, stats: &LatencyStats| {
+            if stats.count == 0 {
+                return row(label, "no samples".to_string());
+            }
             row(
                 label,
                 format!(
-                    "p50 {:>10.1} ns   p95 {:>10.1} ns   p99 {:>10.1} ns   max {:>10.1} ns",
-                    stats.p50_ns, stats.p95_ns, stats.p99_ns, stats.max_ns
+                    "p50 {:>10.1} ns   p99 {:>10.1} ns   p99.9 {:>10.1} ns   max {:>10.1} ns",
+                    stats.p50_ns, stats.p99_ns, stats.p999_ns, stats.max_ns
                 ),
             )
         };
@@ -173,9 +298,10 @@ impl ServeReport {
         out.push_str(&row(
             "load",
             format!(
-                "served {} / shed {} ({:.2} % shed, {} policy)",
+                "served {} / shed {} / failed {} ({:.2} % shed, {} policy)",
                 self.served,
                 self.shed,
+                self.failed,
                 self.shed_rate * 100.0,
                 self.shed_policy
             ),
@@ -183,9 +309,11 @@ impl ServeReport {
         out.push_str(&row(
             "throughput",
             format!(
-                "{:.0} qps over {:.1} us makespan, utilization {:.1} %",
+                "{:.0} qps makespan, {:.0} qps goodput over {:.1} us window, \
+                 utilization {:.1} %",
                 self.throughput_qps,
-                self.makespan_ns / 1e3,
+                self.goodput_qps,
+                self.window_ns / 1e3,
                 self.utilization * 100.0
             ),
         ));
@@ -193,6 +321,21 @@ impl ServeReport {
             "batching",
             format!("{} batches, mean size {:.1}", self.batches, self.mean_batch_size),
         ));
+        if self.retries + self.timeouts + self.crashes + self.hedges > 0 || self.failed > 0 {
+            out.push_str(&row(
+                "resilience",
+                format!(
+                    "{} retries, {} timeouts, {} crashes, {} hedges ({} won), \
+                     min availability {:.1} %",
+                    self.retries,
+                    self.timeouts,
+                    self.crashes,
+                    self.hedges,
+                    self.hedge_wins,
+                    self.worker_availability.first().copied().unwrap_or(1.0) * 100.0
+                ),
+            ));
+        }
         out.push_str(&stats("latency", &self.latency));
         out.push_str(&stats("queue wait", &self.queue_wait));
         out.push_str(&stats("service", &self.service));
@@ -211,27 +354,29 @@ impl ServeReport {
     }
 
     /// Renders the report as deterministic JSON (fixed key order and float
-    /// formatting, so identical runs are byte-identical).
+    /// formatting, so identical runs are byte-identical; empty latency
+    /// samples render as `null`, per-worker arrays are value-sorted).
     #[must_use]
     pub fn to_json(&self) -> String {
-        let stats = |stats: &LatencyStats| {
-            format!(
-                "{{\"mean_ns\": {:.3}, \"p50_ns\": {:.3}, \"p95_ns\": {:.3}, \
-                 \"p99_ns\": {:.3}, \"max_ns\": {:.3}}}",
-                stats.mean_ns, stats.p50_ns, stats.p95_ns, stats.p99_ns, stats.max_ns
-            )
+        let fractions = |values: &[f64]| {
+            let cells: Vec<String> = values.iter().map(|v| format!("{v:.6}")).collect();
+            format!("[{}]", cells.join(", "))
         };
         format!(
             "{{\n  \"policy\": \"{}\",\n  \"shed_policy\": \"{}\",\n  \
              \"offered_qps\": {:.3},\n  \"workers\": {},\n  \
              \"queue_capacity\": {},\n  \"seed\": {},\n  \"offered\": {},\n  \
-             \"served\": {},\n  \"shed\": {},\n  \"shed_rate\": {:.6},\n  \
-             \"batches\": {},\n  \"mean_batch_size\": {:.3},\n  \
-             \"makespan_ns\": {:.3},\n  \"throughput_qps\": {:.3},\n  \
-             \"utilization\": {:.6},\n  \"latency\": {},\n  \
-             \"queue_wait\": {},\n  \"service\": {},\n  \"references\": {},\n  \
-             \"vectors_read\": {},\n  \"dram_reads_per_query\": {:.6},\n  \
-             \"dedup_savings\": {:.6}\n}}\n",
+             \"served\": {},\n  \"shed\": {},\n  \"failed\": {},\n  \
+             \"shed_rate\": {:.6},\n  \"batches\": {},\n  \
+             \"mean_batch_size\": {:.3},\n  \"makespan_ns\": {:.3},\n  \
+             \"window_ns\": {:.3},\n  \"throughput_qps\": {:.3},\n  \
+             \"goodput_qps\": {:.3},\n  \"utilization\": {:.6},\n  \
+             \"retries\": {},\n  \"timeouts\": {},\n  \"crashes\": {},\n  \
+             \"hedges\": {},\n  \"hedge_wins\": {},\n  \
+             \"worker_availability\": {},\n  \"worker_busy\": {},\n  \
+             \"latency\": {},\n  \"queue_wait\": {},\n  \"service\": {},\n  \
+             \"references\": {},\n  \"vectors_read\": {},\n  \
+             \"dram_reads_per_query\": {:.6},\n  \"dedup_savings\": {:.6}\n}}\n",
             self.policy,
             self.shed_policy,
             self.offered_qps,
@@ -241,15 +386,25 @@ impl ServeReport {
             self.offered,
             self.served,
             self.shed,
+            self.failed,
             self.shed_rate,
             self.batches,
             self.mean_batch_size,
             self.makespan_ns,
+            self.window_ns,
             self.throughput_qps,
+            self.goodput_qps,
             self.utilization,
-            stats(&self.latency),
-            stats(&self.queue_wait),
-            stats(&self.service),
+            self.retries,
+            self.timeouts,
+            self.crashes,
+            self.hedges,
+            self.hedge_wins,
+            fractions(&self.worker_availability),
+            fractions(&self.worker_busy),
+            self.latency.to_json(),
+            self.queue_wait.to_json(),
+            self.service.to_json(),
             self.references,
             self.vectors_read,
             self.dram_reads_per_query,
@@ -261,13 +416,16 @@ impl ServeReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::record::{AttemptRecord, AttemptResult, BatchRecord, QueryOutcome, QueryRecord};
 
     #[test]
     fn latency_stats_match_nearest_rank_definition() {
         let samples = [5.0, 1.0, 4.0, 2.0, 3.0];
         let stats = LatencyStats::of(&samples);
+        assert_eq!(stats.count, 5);
         assert_eq!(stats.p50_ns, 3.0);
         assert_eq!(stats.p99_ns, 5.0);
+        assert_eq!(stats.p999_ns, 5.0);
         assert_eq!(stats.max_ns, 5.0);
         assert!((stats.mean_ns - 3.0).abs() < 1e-12);
         assert_eq!(LatencyStats::of(&[]), LatencyStats::default());
@@ -279,7 +437,63 @@ mod tests {
         assert_eq!(stats.p50_ns, 42.0);
         assert_eq!(stats.p95_ns, 42.0);
         assert_eq!(stats.p99_ns, 42.0);
+        assert_eq!(stats.p999_ns, 42.0);
         assert_eq!(stats.max_ns, 42.0);
         assert_eq!(stats.mean_ns, 42.0);
+    }
+
+    #[test]
+    fn empty_latency_sample_serializes_as_null() {
+        assert_eq!(LatencyStats::of(&[]).to_json(), "null");
+        assert!(LatencyStats::of(&[1.0]).to_json().starts_with('{'));
+    }
+
+    /// Regression for the utilization bug: a delayed-start arrival schedule
+    /// must not dilute the busy fraction with dead air before the first
+    /// arrival. One worker, one query arriving at 1 ms and busy for its
+    /// whole window ⇒ utilization is exactly 1, not `service/makespan`.
+    #[test]
+    fn utilization_is_measured_over_the_active_window() {
+        let config = ServeConfig { workers: 1, queries: 1, ..ServeConfig::default() };
+        let outcome = ServeOutcome {
+            records: vec![QueryRecord {
+                arrival_ns: 1_000_000.0,
+                outcome: QueryOutcome::Served {
+                    batch: 0,
+                    formed_ns: 1_000_000.0,
+                    dispatched_ns: 1_000_000.0,
+                    completion_ns: 1_000_100.0,
+                },
+            }],
+            batches: vec![BatchRecord {
+                queries: vec![0],
+                formed_ns: 1_000_000.0,
+                dispatched_ns: 1_000_000.0,
+                worker: 0,
+                service_ns: 100.0,
+                references: 8,
+                vectors_read: 8,
+                attempts: 1,
+                hedged: false,
+                hedge_won: false,
+                failed: false,
+            }],
+            attempts: vec![AttemptRecord {
+                batch: 0,
+                worker: 0,
+                hedge: false,
+                start_ns: 1_000_000.0,
+                busy_until_ns: 1_000_100.0,
+                result: AttemptResult::Won,
+            }],
+        };
+        let report = ServeReport::new(&config, &outcome);
+        assert_eq!(report.window_ns, 100.0);
+        assert_eq!(report.utilization, 1.0);
+        // The old `[0, makespan]` normalization would have reported ~1e-4.
+        assert!(report.makespan_ns > 1e6);
+        assert_eq!(report.retries, 0);
+        assert_eq!(report.worker_availability, vec![1.0]);
+        assert_eq!(report.worker_busy, vec![1.0]);
     }
 }

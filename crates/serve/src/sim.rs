@@ -6,28 +6,44 @@
 //! ```text
 //! arrivals ──▶ bounded arrival queue ──▶ dynamic batcher ──▶ dispatch
 //!   (shed on overflow)      (BatchPolicy)        buffer ──▶ worker pool
+//!                                                  ▲            │ crash /
+//!                                                  └── retry ◀──┘ timeout
 //! ```
 //!
 //! Time is *virtual nanoseconds*: the loop jumps between events (query
-//! arrival, batching deadline, worker completion), so a run is fully
-//! determined by its configuration and seeds — byte-identical across
-//! hosts, thread counts, and reruns. Each dispatched batch is served by a
+//! arrival, batching deadline, attempt resolution, hedge arming, retry
+//! backoff expiry, worker restart), so a run is fully determined by its
+//! configuration and seeds — byte-identical across hosts, thread counts,
+//! and reruns. Each dispatched batch is served by a
 //! [`GatherEngine::lookup`] on the worker's own private memory system
-//! (the [`fafnir_core::ParallelBatchDriver`] replication pattern: `workers`
-//! independent accelerator instances, each with private channels), and the
-//! engine's per-query completion times ([`fafnir_core::LookupResult::per_query_ns`])
-//! become per-query completion events on the serving clock.
+//! (the [`fafnir_core::ParallelBatchDriver`] replication pattern), and the
+//! engine's per-query completion times become per-query completion events
+//! on the serving clock.
+//!
+//! [`simulate_resilient`] layers a fault model on top
+//! ([`ResilienceConfig`]): a seeded [`FaultPlan`] schedules per-worker
+//! crash/restart intervals and service-time slowdown multipliers; the
+//! dispatcher reacts with per-batch timeouts, bounded retry-with-backoff
+//! onto a different worker, and optional hedged dispatch (duplicate the
+//! batch to a second free worker after a hedge delay; first completion
+//! wins, the loser is cancelled). When every worker is permanently down,
+//! the shed policy escalates: pending work is shed instead of queueing
+//! without bound. A zero-fault plan reproduces the fault-free simulation
+//! byte for byte, and all observable metrics are invariant under worker
+//! renumbering (free-worker ties break on the *fault schedule*, not the
+//! worker id — see [`WorkerFaults::schedule_cmp`]).
 
 use std::collections::VecDeque;
 
 use fafnir_core::placement::EmbeddingSource;
-use fafnir_core::{Batch, GatherEngine, IndexSet};
+use fafnir_core::{Batch, GatherEngine, IndexSet, LookupResult};
 use fafnir_workloads::arrival::ArrivalProcess;
+use fafnir_workloads::faults::{FaultPlan, WorkerFaults};
 use fafnir_workloads::query::BatchGenerator;
 
 use crate::policy::BatchPolicy;
 use crate::queue::{Admission, ArrivalQueue, ShedPolicy};
-use crate::record::{BatchRecord, QueryOutcome, QueryRecord};
+use crate::record::{AttemptRecord, AttemptResult, BatchRecord, QueryOutcome, QueryRecord};
 use crate::ServeError;
 
 /// Configuration of one serving run.
@@ -104,14 +120,98 @@ impl ServeConfig {
     }
 }
 
-/// Everything a finished run produced: per-query and per-batch records in
-/// submission / formation order.
+/// The fault-injection and resilience knobs of one serving run.
+///
+/// [`ResilienceConfig::none`] disables everything; a run under it is
+/// byte-identical to [`simulate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceConfig {
+    /// Per-worker fault schedule (crash/restart intervals, slowdowns).
+    pub faults: FaultPlan,
+    /// Per-batch dispatch timeout: if a service attempt has not completed
+    /// `timeout_ns` after its dispatch, the dispatcher gives up on it (the
+    /// worker keeps crunching to its natural finish — wasted work) and
+    /// retries elsewhere. `None` disables timeouts.
+    pub timeout_ns: Option<f64>,
+    /// Failed attempts (crash or timeout) a batch may absorb before its
+    /// queries are marked [`QueryOutcome::Failed`]. Each failure beyond the
+    /// first dispatch is retried onto a *different* worker when one is
+    /// available.
+    pub retries: u32,
+    /// Base retry backoff; retry `k` (0-based) waits `backoff_ns × 2^k`
+    /// after the failure before it becomes dispatchable.
+    pub backoff_ns: f64,
+    /// Hedged dispatch: if the lone in-flight attempt of a batch is still
+    /// running `hedge_ns` after it started, duplicate the batch onto a
+    /// second free worker. First completion wins; the loser is cancelled
+    /// at the winner's completion time. `None` disables hedging.
+    pub hedge_ns: Option<f64>,
+}
+
+impl ResilienceConfig {
+    /// No faults, no timeouts, no hedging: the transparent configuration.
+    #[must_use]
+    pub fn none(workers: usize) -> Self {
+        Self {
+            faults: FaultPlan::none(workers),
+            timeout_ns: None,
+            retries: 0,
+            backoff_ns: 1_000.0,
+            hedge_ns: None,
+        }
+    }
+
+    /// Validates the configuration against the serving worker count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidConfig`] when the fault plan does not
+    /// cover exactly `workers` replicas, when the plan itself is malformed,
+    /// or for non-positive/non-finite timeout, backoff, or hedge values.
+    pub fn validate(&self, workers: usize) -> Result<(), ServeError> {
+        self.faults.validate().map_err(ServeError::InvalidConfig)?;
+        if self.faults.len() != workers {
+            return Err(ServeError::InvalidConfig(format!(
+                "fault plan covers {} workers but the run has {workers}",
+                self.faults.len()
+            )));
+        }
+        if let Some(timeout) = self.timeout_ns {
+            if !timeout.is_finite() || timeout <= 0.0 {
+                return Err(ServeError::InvalidConfig(format!(
+                    "timeout_ns must be positive and finite, got {timeout}"
+                )));
+            }
+        }
+        if let Some(hedge) = self.hedge_ns {
+            if !hedge.is_finite() || hedge < 0.0 {
+                return Err(ServeError::InvalidConfig(format!(
+                    "hedge_ns must be non-negative and finite, got {hedge}"
+                )));
+            }
+        }
+        if !self.backoff_ns.is_finite() || self.backoff_ns < 0.0 {
+            return Err(ServeError::InvalidConfig(format!(
+                "backoff_ns must be non-negative and finite, got {}",
+                self.backoff_ns
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Everything a finished run produced: per-query, per-batch, and
+/// per-attempt records.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeOutcome {
     /// One record per offered query, in submission order.
     pub records: Vec<QueryRecord>,
     /// One record per formed batch, in formation order.
     pub batches: Vec<BatchRecord>,
+    /// One record per started service attempt, in resolution order. Busy
+    /// spans here (not the winning services alone) drive utilization and
+    /// per-worker busy fractions, so wasted work is accounted.
+    pub attempts: Vec<AttemptRecord>,
 }
 
 impl ServeOutcome {
@@ -121,10 +221,16 @@ impl ServeOutcome {
         self.records.iter().filter(|r| matches!(r.outcome, QueryOutcome::Served { .. })).count()
     }
 
-    /// Queries rejected by admission control.
+    /// Queries rejected by admission control (including shed escalation).
     #[must_use]
     pub fn shed(&self) -> usize {
         self.records.iter().filter(|r| matches!(r.outcome, QueryOutcome::Shed { .. })).count()
+    }
+
+    /// Queries whose batch exhausted its retry budget.
+    #[must_use]
+    pub fn failed(&self) -> usize {
+        self.records.iter().filter(|r| matches!(r.outcome, QueryOutcome::Failed { .. })).count()
     }
 
     /// Virtual time of the last host-side output (0 when nothing was
@@ -139,22 +245,99 @@ impl ServeOutcome {
             })
             .fold(0.0, f64::max)
     }
+
+    /// Arrival time of the first offered query (0 for an empty run).
+    #[must_use]
+    pub fn first_arrival_ns(&self) -> f64 {
+        self.records.first().map_or(0.0, |r| r.arrival_ns)
+    }
+
+    /// End of the measurement window: the later of the last host-side
+    /// output and the last worker busy instant (wasted work included).
+    #[must_use]
+    pub fn window_end_ns(&self) -> f64 {
+        self.attempts.iter().map(|a| a.busy_until_ns).fold(self.makespan_ns(), f64::max)
+    }
 }
 
-/// A closed batch waiting for a free worker.
+/// How one in-flight attempt will resolve (fully determined at dispatch).
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ResolveKind {
+    /// Completes and delivers outputs at `resolve_ns`.
+    Success,
+    /// The worker crashes at `resolve_ns`; the work is lost.
+    Crash,
+    /// The dispatcher gives up at `resolve_ns`; the worker stays busy
+    /// until `busy_until_ns` (natural finish, or an even later crash).
+    Timeout {
+        /// When the abandoned worker actually stops crunching.
+        busy_until_ns: f64,
+    },
+}
+
+/// One in-flight service attempt.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    worker: usize,
+    start_ns: f64,
+    resolve_ns: f64,
+    kind: ResolveKind,
+    hedge: bool,
+}
+
+/// Lifecycle of a formed batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum JobState {
+    /// Formed, waiting for its first dispatch (counts against
+    /// `dispatch_capacity`).
+    WaitingFirst,
+    /// At least one attempt in flight.
+    InFlight,
+    /// Last attempt failed; redispatch becomes possible at `ready_ns`,
+    /// preferring any worker other than `exclude`.
+    WaitingRetry {
+        ready_ns: f64,
+        exclude: usize,
+    },
+    Done,
+}
+
+/// A formed batch travelling through the dispatch layer.
 #[derive(Debug)]
-struct FormedBatch {
+struct Job {
     ids: Vec<usize>,
     formed_ns: f64,
+    state: JobState,
+    /// Fault-free engine result for this batch; per-attempt numbers are
+    /// derived via [`LookupResult::scale_service_time`].
+    base: LookupResult,
+    primary: Option<InFlight>,
+    hedge: Option<InFlight>,
+    /// Crashed or timed-out attempts so far (retry budget consumed).
+    failures: u32,
+    /// Retry redispatches scheduled so far (backoff exponent).
+    redispatches: u32,
+    attempts: u32,
+    hedged: bool,
+    first_dispatch_ns: f64,
+    vectors_read: u64,
 }
 
-/// Runs one serving simulation to completion.
+impl Job {
+    fn in_flight_count(&self) -> usize {
+        usize::from(self.primary.is_some()) + usize::from(self.hedge.is_some())
+    }
+}
+
+/// Runs one serving simulation to completion with no fault layer.
 ///
-/// The load generator offers `config.queries` queries whose arrival times
-/// come from `config.arrivals` and whose index sets come from `traffic`
-/// (drawn in submission order, so a given generator seed always produces
-/// the same query stream). After the last arrival the batcher drains:
-/// remaining queued queries close immediately regardless of policy.
+/// Equivalent to [`simulate_resilient`] under [`ResilienceConfig::none`]
+/// (byte-identically so). The load generator offers `config.queries`
+/// queries whose arrival times come from `config.arrivals` and whose index
+/// sets come from `traffic` (drawn in submission order, so a given
+/// generator seed always produces the same query stream). After the last
+/// arrival the batcher drains: remaining queued queries close immediately
+/// regardless of policy.
 ///
 /// # Errors
 ///
@@ -166,18 +349,48 @@ pub fn simulate<E: GatherEngine, S: EmbeddingSource>(
     traffic: &mut BatchGenerator,
     config: &ServeConfig,
 ) -> Result<ServeOutcome, ServeError> {
+    simulate_resilient(engine, source, traffic, config, &ResilienceConfig::none(config.workers))
+}
+
+/// Runs one serving simulation to completion under a fault plan.
+///
+/// See the [module docs](self) for the dispatch model (timeouts, bounded
+/// retry with backoff, hedged dispatch, shed escalation). Determinism
+/// contract: same configuration and seeds ⇒ byte-identical
+/// [`ServeOutcome`]; permuting worker ids together with the fault plan
+/// leaves every report-level metric unchanged.
+///
+/// # Errors
+///
+/// Returns [`ServeError::InvalidConfig`] for invalid configurations
+/// (including a fault plan that does not cover `config.workers` replicas)
+/// and [`ServeError::Engine`] if the engine rejects a formed batch.
+#[allow(clippy::too_many_lines)]
+pub fn simulate_resilient<E: GatherEngine, S: EmbeddingSource>(
+    engine: &E,
+    source: &S,
+    traffic: &mut BatchGenerator,
+    config: &ServeConfig,
+    resilience: &ResilienceConfig,
+) -> Result<ServeOutcome, ServeError> {
     config.validate()?;
+    resilience.validate(config.workers)?;
     let times = config.arrivals.schedule(config.queries, config.seed);
     let shapes: Vec<IndexSet> = (0..config.queries).map(|_| traffic.query()).collect();
-    let mut records: Vec<QueryRecord> = times
-        .iter()
-        .map(|&arrival_ns| QueryRecord { arrival_ns, outcome: QueryOutcome::Pending })
-        .collect();
-    let mut batches: Vec<BatchRecord> = Vec::new();
+    let mut sim = Sim {
+        resilience,
+        records: times
+            .iter()
+            .map(|&arrival_ns| QueryRecord { arrival_ns, outcome: QueryOutcome::Pending })
+            .collect(),
+        batches: Vec::new(),
+        attempt_log: Vec::new(),
+        jobs: Vec::new(),
+        free_ns: vec![0.0; config.workers],
+    };
 
     let mut queue = ArrivalQueue::new(config.queue_capacity, config.shed);
-    let mut dispatch: VecDeque<FormedBatch> = VecDeque::new();
-    let mut workers: Vec<f64> = vec![0.0; config.workers];
+    let mut waiting_first: VecDeque<usize> = VecDeque::new();
     let mut next_arrival = 0usize;
     let mut now = 0.0f64;
 
@@ -189,41 +402,37 @@ pub fn simulate<E: GatherEngine, S: EmbeddingSource>(
             match queue.offer(id, times[id]) {
                 Admission::Admitted => {}
                 Admission::SheddedArrival => {
-                    records[id].outcome = QueryOutcome::Shed { shed_ns: times[id] };
+                    sim.records[id].outcome = QueryOutcome::Shed { shed_ns: times[id] };
                 }
                 Admission::SheddedOldest(evicted) => {
-                    records[evicted].outcome = QueryOutcome::Shed { shed_ns: times[id] };
+                    sim.records[evicted].outcome = QueryOutcome::Shed { shed_ns: times[id] };
                 }
             }
         }
-
-        // Close batches and dispatch them until neither step can proceed.
         let draining = next_arrival == times.len();
+
+        // Run every state transition possible at `now` to a fixpoint:
+        // attempt resolutions free workers, freed workers dispatch waiting
+        // work, dispatches open batcher capacity, and so on.
         loop {
             let mut progressed = false;
-            while dispatch.len() < config.dispatch_capacity {
+            progressed |= sim.resolve_due(now);
+            progressed |= sim.launch_hedges(now);
+            progressed |= sim.dispatch_retries(now);
+            while let Some(&job_id) = waiting_first.front() {
+                let Some(worker) = sim.best_available(now, None) else { break };
+                waiting_first.pop_front();
+                sim.start_attempt(job_id, worker, now, false);
+                progressed = true;
+            }
+            while waiting_first.len() < config.dispatch_capacity {
                 let Some(oldest) = queue.oldest_arrival_ns() else { break };
                 if !(config.policy.ready(queue.len(), oldest, now) || draining) {
                     break;
                 }
                 let ids = queue.take(config.policy.max_batch());
-                dispatch.push_back(FormedBatch { ids, formed_ns: now });
-                progressed = true;
-            }
-            while !dispatch.is_empty() {
-                let Some(worker) = idle_worker(&workers, now) else { break };
-                let formed = dispatch.pop_front().expect("dispatch non-empty");
-                serve_batch(
-                    engine,
-                    source,
-                    &shapes,
-                    formed,
-                    worker,
-                    now,
-                    &mut workers,
-                    &mut records,
-                    &mut batches,
-                )?;
+                let job_id = sim.form_job(ids, now, engine, source, &shapes)?;
+                waiting_first.push_back(job_id);
                 progressed = true;
             }
             if !progressed {
@@ -231,35 +440,83 @@ pub fn simulate<E: GatherEngine, S: EmbeddingSource>(
             }
         }
 
-        if next_arrival == times.len() && queue.is_empty() && dispatch.is_empty() {
+        if draining
+            && queue.is_empty()
+            && waiting_first.is_empty()
+            && sim.jobs.iter().all(|j| j.state == JobState::Done)
+        {
             break;
         }
 
-        // Jump to the next event: arrival, batching deadline, or worker
-        // becoming free. All candidates are strictly in the future: due
-        // arrivals were admitted above, expired deadlines already closed
-        // their batch (or are excluded because the dispatch buffer is
-        // full, in which case a busy worker is the unblocking event).
+        // Jump to the next event. All candidates are strictly in the
+        // future: due arrivals were admitted above, expired deadlines
+        // closed their batch, due resolutions/hedges/retries were processed
+        // by the fixpoint loop, and available workers already absorbed
+        // dispatchable work.
         let mut t_next = f64::INFINITY;
+        let mut work_blocked = !waiting_first.is_empty();
         if next_arrival < times.len() {
             t_next = t_next.min(times[next_arrival]);
         }
-        if dispatch.len() < config.dispatch_capacity && !draining {
+        if waiting_first.len() < config.dispatch_capacity && !draining {
             if let Some(oldest) = queue.oldest_arrival_ns() {
                 if let Some(deadline) = config.policy.deadline_ns(oldest) {
                     t_next = t_next.min(deadline);
                 }
             }
         }
-        if !dispatch.is_empty() {
-            let free = workers.iter().copied().filter(|&f| f > now).fold(f64::INFINITY, f64::min);
-            t_next = t_next.min(free);
+        for job in &sim.jobs {
+            match job.state {
+                JobState::InFlight => {
+                    for attempt in job.primary.iter().chain(job.hedge.iter()) {
+                        t_next = t_next.min(attempt.resolve_ns);
+                    }
+                    if let (Some(hedge_ns), 1, false) =
+                        (resilience.hedge_ns, job.in_flight_count(), job.hedged)
+                    {
+                        let lone = job.primary.or(job.hedge).expect("one attempt in flight");
+                        let arm = lone.start_ns + hedge_ns;
+                        if arm > now {
+                            t_next = t_next.min(arm);
+                        } else {
+                            work_blocked = true;
+                        }
+                    }
+                }
+                JobState::WaitingRetry { ready_ns, .. } => {
+                    if ready_ns > now {
+                        t_next = t_next.min(ready_ns);
+                    } else {
+                        work_blocked = true;
+                    }
+                }
+                JobState::WaitingFirst | JobState::Done => {}
+            }
         }
-        // Every candidate above is strictly in the future: due arrivals
-        // were admitted, expired deadlines closed their batch (`ready`
-        // compares against the exact deadline expression), and idle
-        // workers already drained the dispatch buffer. A non-advancing
-        // clock is therefore a livelock, not an event.
+        if work_blocked {
+            for w in 0..config.workers {
+                if let Some(up) = sim.next_available(w, now) {
+                    if up > now {
+                        t_next = t_next.min(up);
+                    }
+                }
+            }
+        }
+
+        if !t_next.is_finite() {
+            // No future event. If every worker is permanently down from
+            // here, escalate the shed policy: drop the pending work instead
+            // of queueing without bound. Anything else is a policy
+            // livelock.
+            let outage_forever = (0..config.workers).all(|w| sim.next_available(w, now).is_none());
+            if work_blocked && outage_forever {
+                sim.shed_escalation(now, &mut waiting_first);
+                for id in queue.take(usize::MAX) {
+                    sim.records[id].outcome = QueryOutcome::Shed { shed_ns: now };
+                }
+                break;
+            }
+        }
         if !t_next.is_finite() || t_next <= now {
             return Err(ServeError::InvalidConfig(format!(
                 "simulation stalled at {now} ns with {} queued queries — \
@@ -270,53 +527,361 @@ pub fn simulate<E: GatherEngine, S: EmbeddingSource>(
         now = t_next;
     }
 
-    Ok(ServeOutcome { records, batches })
+    Ok(ServeOutcome { records: sim.records, batches: sim.batches, attempts: sim.attempt_log })
 }
 
-/// The idle worker (free at or before `now`) that has been idle longest;
-/// ties break on the lowest index for determinism.
-fn idle_worker(workers: &[f64], now: f64) -> Option<usize> {
-    workers
-        .iter()
-        .enumerate()
-        .filter(|&(_, &free_at)| free_at <= now)
-        .min_by(|a, b| a.1.total_cmp(b.1))
-        .map(|(index, _)| index)
+/// Mutable simulation state shared by the dispatch-layer transitions.
+struct Sim<'a> {
+    resilience: &'a ResilienceConfig,
+    records: Vec<QueryRecord>,
+    batches: Vec<BatchRecord>,
+    attempt_log: Vec<AttemptRecord>,
+    jobs: Vec<Job>,
+    free_ns: Vec<f64>,
 }
 
-/// Serves one formed batch on `worker`, stamping member completions.
-#[allow(clippy::too_many_arguments)]
-fn serve_batch<E: GatherEngine, S: EmbeddingSource>(
-    engine: &E,
-    source: &S,
-    shapes: &[IndexSet],
-    formed: FormedBatch,
-    worker: usize,
-    now: f64,
-    workers: &mut [f64],
-    records: &mut [QueryRecord],
-    batches: &mut Vec<BatchRecord>,
-) -> Result<(), ServeError> {
-    let batch = Batch::from_index_sets(formed.ids.iter().map(|&id| shapes[id].clone()));
-    let result = engine.lookup(&batch, source).map_err(ServeError::Engine)?;
-    for &(member, completion) in &result.per_query_ns {
-        let id = formed.ids[member.0 as usize];
-        records[id].outcome = QueryOutcome::Served {
-            batch: batches.len(),
-            formed_ns: formed.formed_ns,
-            dispatched_ns: now,
-            completion_ns: now + completion,
-        };
+impl Sim<'_> {
+    fn plan(&self) -> &FaultPlan {
+        &self.resilience.faults
     }
-    workers[worker] = now + result.latency.total_ns;
-    batches.push(BatchRecord {
-        queries: formed.ids,
-        formed_ns: formed.formed_ns,
-        dispatched_ns: now,
-        worker,
-        service_ns: result.latency.total_ns,
-        references: result.traffic.total_references,
-        vectors_read: result.traffic.vectors_read,
-    });
-    Ok(())
+
+    /// Whether worker `w` can accept a dispatch at `now`.
+    fn available(&self, w: usize, now: f64) -> bool {
+        self.free_ns[w] <= now && self.plan().worker(w).is_up(now)
+    }
+
+    /// The earliest time ≥ `now` at which worker `w` can accept a
+    /// dispatch, or `None` if it is down forever.
+    fn next_available(&self, w: usize, now: f64) -> Option<f64> {
+        self.plan().worker(w).next_up_after(now.max(self.free_ns[w]))
+    }
+
+    /// The best available worker at `now`, skipping `exclude`: longest-idle
+    /// first, then by fault schedule ([`WorkerFaults::schedule_cmp`]) so
+    /// the choice — and with it every downstream metric — is invariant
+    /// under worker renumbering, then by index among behaviourally
+    /// identical workers.
+    fn best_available(&self, now: f64, exclude: Option<usize>) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for w in 0..self.free_ns.len() {
+            if Some(w) == exclude || !self.available(w, now) {
+                continue;
+            }
+            best = Some(match best {
+                None => w,
+                Some(b) => {
+                    let ordering = self.free_ns[w]
+                        .total_cmp(&self.free_ns[b])
+                        .then_with(|| self.worker_faults(w).schedule_cmp(self.worker_faults(b)));
+                    if ordering.is_lt() {
+                        w
+                    } else {
+                        b
+                    }
+                }
+            });
+        }
+        best
+    }
+
+    fn worker_faults(&self, w: usize) -> &WorkerFaults {
+        self.plan().worker(w)
+    }
+
+    /// Closes a batch: runs the engine once (fault-free base service) and
+    /// registers the job plus its placeholder [`BatchRecord`].
+    fn form_job<E: GatherEngine, S: EmbeddingSource>(
+        &mut self,
+        ids: Vec<usize>,
+        now: f64,
+        engine: &E,
+        source: &S,
+        shapes: &[IndexSet],
+    ) -> Result<usize, ServeError> {
+        let batch = Batch::from_index_sets(ids.iter().map(|&id| shapes[id].clone()));
+        let base = engine.lookup(&batch, source).map_err(ServeError::Engine)?;
+        let job_id = self.jobs.len();
+        self.batches.push(BatchRecord {
+            queries: ids.clone(),
+            formed_ns: now,
+            dispatched_ns: 0.0,
+            worker: 0,
+            service_ns: 0.0,
+            references: base.traffic.total_references,
+            vectors_read: 0,
+            attempts: 0,
+            hedged: false,
+            hedge_won: false,
+            failed: false,
+        });
+        self.jobs.push(Job {
+            ids,
+            formed_ns: now,
+            state: JobState::WaitingFirst,
+            base,
+            primary: None,
+            hedge: None,
+            failures: 0,
+            redispatches: 0,
+            attempts: 0,
+            hedged: false,
+            first_dispatch_ns: 0.0,
+            vectors_read: 0,
+        });
+        Ok(job_id)
+    }
+
+    /// Starts one service attempt of `job_id` on `worker` at `now`. The
+    /// attempt's entire future (success, crash, or timeout) is determined
+    /// here from the fault plan, so it becomes a single resolution event.
+    fn start_attempt(&mut self, job_id: usize, worker: usize, now: f64, hedge: bool) {
+        let job = &mut self.jobs[job_id];
+        let slowdown = self.resilience.faults.worker(worker).slowdown;
+        let service_ns = job.base.latency.total_ns * slowdown;
+        let finish = now + service_ns;
+        let crash = self.resilience.faults.worker(worker).first_crash_within(now, finish);
+        let timeout = self.resilience.timeout_ns.map(|t| now + t).filter(|&t| t < finish);
+        let (kind, resolve_ns, busy_until) = match (crash, timeout) {
+            (Some(c), Some(t)) if c <= t => (ResolveKind::Crash, c, c),
+            (Some(c), Some(t)) => (ResolveKind::Timeout { busy_until_ns: c }, t, c),
+            (Some(c), None) => (ResolveKind::Crash, c, c),
+            (None, Some(t)) => (ResolveKind::Timeout { busy_until_ns: finish }, t, finish),
+            (None, None) => (ResolveKind::Success, finish, finish),
+        };
+        self.free_ns[worker] = busy_until;
+        let attempt = InFlight { worker, start_ns: now, resolve_ns, kind, hedge };
+        if hedge {
+            job.hedge = Some(attempt);
+            job.hedged = true;
+        } else {
+            job.primary = Some(attempt);
+        }
+        if job.attempts == 0 {
+            job.first_dispatch_ns = now;
+        }
+        job.attempts += 1;
+        job.vectors_read += job.base.traffic.vectors_read;
+        job.state = JobState::InFlight;
+    }
+
+    /// Resolves every in-flight attempt due by `now`, in job order (within
+    /// a job, earlier resolution first). Returns whether anything resolved.
+    fn resolve_due(&mut self, now: f64) -> bool {
+        let mut progressed = false;
+        for job_id in 0..self.jobs.len() {
+            loop {
+                if self.jobs[job_id].state != JobState::InFlight {
+                    break;
+                }
+                // The due attempt with the earliest resolution (primary
+                // first on exact ties, which is deterministic).
+                let job = &self.jobs[job_id];
+                let due = [job.primary, job.hedge]
+                    .into_iter()
+                    .flatten()
+                    .filter(|a| a.resolve_ns <= now)
+                    .min_by(|a, b| a.resolve_ns.total_cmp(&b.resolve_ns));
+                let Some(attempt) = due else { break };
+                match attempt.kind {
+                    ResolveKind::Success => self.resolve_win(job_id, attempt),
+                    ResolveKind::Crash => {
+                        self.resolve_failure(
+                            job_id,
+                            attempt,
+                            AttemptResult::Crashed,
+                            attempt.resolve_ns,
+                        );
+                    }
+                    ResolveKind::Timeout { busy_until_ns } => {
+                        self.resolve_failure(
+                            job_id,
+                            attempt,
+                            AttemptResult::TimedOut,
+                            busy_until_ns,
+                        );
+                    }
+                }
+                progressed = true;
+            }
+        }
+        progressed
+    }
+
+    /// A successful attempt delivers the batch: stamp member completions
+    /// with the winner's (slowdown-scaled) per-query times, cancel the
+    /// losing attempt, and finalize the batch record.
+    fn resolve_win(&mut self, job_id: usize, winner: InFlight) {
+        let win_ns = winner.resolve_ns;
+        let job = &mut self.jobs[job_id];
+        let mut scaled = job.base.clone();
+        scaled.scale_service_time(self.resilience.faults.worker(winner.worker).slowdown);
+        for &(member, completion) in &scaled.per_query_ns {
+            let id = job.ids[member.0 as usize];
+            self.records[id].outcome = QueryOutcome::Served {
+                batch: job_id,
+                formed_ns: job.formed_ns,
+                dispatched_ns: winner.start_ns,
+                completion_ns: winner.start_ns + completion,
+            };
+        }
+        let loser = if winner.hedge { job.primary.take() } else { job.hedge.take() };
+        if winner.hedge {
+            job.hedge = None;
+        } else {
+            job.primary = None;
+        }
+        job.state = JobState::Done;
+        let record = &mut self.batches[job_id];
+        record.dispatched_ns = winner.start_ns;
+        record.worker = winner.worker;
+        record.service_ns = scaled.latency.total_ns;
+        record.vectors_read = job.vectors_read;
+        record.attempts = job.attempts;
+        record.hedged = job.hedged;
+        record.hedge_won = winner.hedge;
+        self.attempt_log.push(AttemptRecord {
+            batch: job_id,
+            worker: winner.worker,
+            hedge: winner.hedge,
+            start_ns: winner.start_ns,
+            busy_until_ns: win_ns,
+            result: AttemptResult::Won,
+        });
+        if let Some(loser) = loser {
+            // Cancellation propagates instantly in virtual time: the losing
+            // worker stops at the winner's completion.
+            self.free_ns[loser.worker] = self.free_ns[loser.worker].min(win_ns);
+            self.attempt_log.push(AttemptRecord {
+                batch: job_id,
+                worker: loser.worker,
+                hedge: loser.hedge,
+                start_ns: loser.start_ns,
+                busy_until_ns: win_ns,
+                result: AttemptResult::Cancelled,
+            });
+        }
+    }
+
+    /// A crashed or timed-out attempt: log it, then either lean on the
+    /// other in-flight attempt, schedule a retry, or fail the batch.
+    fn resolve_failure(
+        &mut self,
+        job_id: usize,
+        failed: InFlight,
+        result: AttemptResult,
+        busy_until_ns: f64,
+    ) {
+        self.attempt_log.push(AttemptRecord {
+            batch: job_id,
+            worker: failed.worker,
+            hedge: failed.hedge,
+            start_ns: failed.start_ns,
+            busy_until_ns,
+            result,
+        });
+        let job = &mut self.jobs[job_id];
+        if failed.hedge {
+            job.hedge = None;
+        } else {
+            job.primary = None;
+        }
+        job.failures += 1;
+        if job.in_flight_count() > 0 {
+            return; // The other attempt carries the batch.
+        }
+        if job.failures <= self.resilience.retries {
+            let backoff = self.resilience.backoff_ns * f64::from(1u32 << job.redispatches.min(31));
+            job.redispatches += 1;
+            job.state = JobState::WaitingRetry {
+                ready_ns: failed.resolve_ns + backoff,
+                exclude: failed.worker,
+            };
+            return;
+        }
+        let failed_ns = failed.resolve_ns;
+        for &id in &job.ids {
+            self.records[id].outcome = QueryOutcome::Failed { failed_ns };
+        }
+        job.state = JobState::Done;
+        let record = &mut self.batches[job_id];
+        record.dispatched_ns = job.first_dispatch_ns;
+        record.worker = failed.worker;
+        record.service_ns = 0.0;
+        record.vectors_read = job.vectors_read;
+        record.attempts = job.attempts;
+        record.hedged = job.hedged;
+        record.failed = true;
+    }
+
+    /// Launches hedge attempts for jobs whose lone in-flight attempt has
+    /// outlived the hedge delay and a second worker is free.
+    fn launch_hedges(&mut self, now: f64) -> bool {
+        let Some(hedge_ns) = self.resilience.hedge_ns else { return false };
+        let mut progressed = false;
+        for job_id in 0..self.jobs.len() {
+            let job = &self.jobs[job_id];
+            if job.state != JobState::InFlight || job.hedged || job.in_flight_count() != 1 {
+                continue;
+            }
+            let lone = job.primary.or(job.hedge).expect("one attempt in flight");
+            if now < lone.start_ns + hedge_ns || lone.resolve_ns <= now {
+                continue;
+            }
+            let Some(worker) = self.best_available(now, Some(lone.worker)) else { continue };
+            self.start_attempt(job_id, worker, now, true);
+            progressed = true;
+        }
+        progressed
+    }
+
+    /// Redispatches retry-ready jobs, preferring a worker other than the
+    /// one that just failed (falling back when it is the only one up).
+    fn dispatch_retries(&mut self, now: f64) -> bool {
+        let mut progressed = false;
+        for job_id in 0..self.jobs.len() {
+            let JobState::WaitingRetry { ready_ns, exclude } = self.jobs[job_id].state else {
+                continue;
+            };
+            if ready_ns > now {
+                continue;
+            }
+            let worker =
+                self.best_available(now, Some(exclude)).or_else(|| self.best_available(now, None));
+            let Some(worker) = worker else { continue };
+            self.start_attempt(job_id, worker, now, false);
+            progressed = true;
+        }
+        progressed
+    }
+
+    /// Shed escalation under a permanent total outage: pending batches and
+    /// queued queries are dropped at `now` instead of waiting forever.
+    fn shed_escalation(&mut self, now: f64, waiting_first: &mut VecDeque<usize>) {
+        waiting_first.clear();
+        for job_id in 0..self.jobs.len() {
+            let job = &mut self.jobs[job_id];
+            match job.state {
+                JobState::Done | JobState::InFlight => continue,
+                JobState::WaitingFirst => {
+                    // Never dispatched: this is admission-control territory,
+                    // so the members count as shed.
+                    for &id in &job.ids {
+                        self.records[id].outcome = QueryOutcome::Shed { shed_ns: now };
+                    }
+                }
+                JobState::WaitingRetry { .. } => {
+                    for &id in &job.ids {
+                        self.records[id].outcome = QueryOutcome::Failed { failed_ns: now };
+                    }
+                }
+            }
+            job.state = JobState::Done;
+            let record = &mut self.batches[job_id];
+            record.dispatched_ns = job.first_dispatch_ns;
+            record.vectors_read = job.vectors_read;
+            record.attempts = job.attempts;
+            record.hedged = job.hedged;
+            record.failed = true;
+        }
+    }
 }

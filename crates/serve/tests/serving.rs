@@ -47,6 +47,7 @@ fn every_offered_query_is_served_or_shed_and_timelines_are_ordered() {
     for record in &outcome.records {
         match record.outcome {
             QueryOutcome::Pending => panic!("finished run left a query pending"),
+            QueryOutcome::Failed { .. } => panic!("fault-free run failed a query"),
             QueryOutcome::Shed { shed_ns } => assert!(shed_ns >= record.arrival_ns),
             QueryOutcome::Served { formed_ns, dispatched_ns, completion_ns, .. } => {
                 assert!(formed_ns >= record.arrival_ns);

@@ -5,6 +5,8 @@
 //!
 //! * [`arrival`] — open-loop Poisson and on/off (MMPP-style) arrival
 //!   processes, the load side of the `fafnir-serve` serving simulation;
+//! * [`faults`] — seeded per-worker crash/restart and slowdown schedules,
+//!   the failure side of the same simulation;
 //! * [`embedding`] — embedding-table sets mapped to DRAM per Fig. 4b,
 //!   implementing [`fafnir_core::EmbeddingSource`];
 //! * [`zipf`] — a Zipf sampler (production embedding traffic is highly
@@ -37,6 +39,7 @@
 pub mod arrival;
 pub mod dlrm;
 pub mod embedding;
+pub mod faults;
 pub mod query;
 pub mod recsys;
 pub mod roofline;
@@ -48,6 +51,7 @@ pub mod zipf;
 pub use arrival::ArrivalProcess;
 pub use dlrm::{DlrmBreakdown, DlrmModel, MlpSpec};
 pub use embedding::{EmbeddingTableSet, TablePlacement};
+pub use faults::{FaultPlan, WorkerFaults};
 pub use query::{BatchGenerator, Popularity};
 pub use recsys::{InferenceBreakdown, RecSysModel};
 pub use tablewise::TablewiseGenerator;

@@ -21,8 +21,12 @@ tier1:
 test:
     cargo test --workspace -q
 
+# Docs gate (matches CI: rustdoc warnings are errors).
+docs:
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
 # Everything CI runs.
-ci: fmt clippy tier1
+ci: fmt clippy tier1 docs
 
 # Regenerate the parallel-driver measurement (BENCH_parallel_driver.json).
 bench-driver:
@@ -38,6 +42,17 @@ bench-fastforward *ARGS:
 # bench-fastforward: `just bench-serving --force` accepts a regression.
 bench-serving *ARGS:
     cargo bench -p fafnir-bench --bench serving -- {{ARGS}}
+
+# Regenerate the fault-resilience measurement (BENCH_fault_resilience.json):
+# hedged dispatch vs DRAM reads under a straggler plan, plus crash/retry
+# churn. Same guard: `just bench-resilience --force` accepts a regression.
+bench-resilience *ARGS:
+    cargo bench -p fafnir-bench --bench fault_resilience -- {{ARGS}}
+
+# A quick look at the resilience layer: a straggler replica with hedging.
+serve-faults-demo:
+    cargo run --release -p fafnir-cli -- serve --rate 2e6 --policy deadline \
+        --max-wait-ns 20000 --workers 2 --faults slow:8:1 --hedge-ns 3000 --seed 7
 
 # A quick look at the serving simulator: deadline batching at 2 Mqps.
 serve-demo:

@@ -1,0 +1,82 @@
+//! Property tests of `nearest_rank_percentile_ns` against a naive
+//! sort-and-index reference: for arbitrary samples and percentiles the
+//! optimized implementation must agree exactly, including the p → 0⁺
+//! boundary (rank clamps to 1, never 0) and duplicate-heavy samples.
+
+use proptest::prelude::*;
+
+use fafnir_core::nearest_rank_percentile_ns;
+
+/// The nearest-rank definition, written as directly as possible: sort,
+/// take element `⌈p·n⌉` (1-indexed), clamping the rank into `1..=n`.
+fn reference_percentile(samples: &[f64], p: f64) -> f64 {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = (p * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Latency-like values: non-negative, spanning ns to seconds, with a
+/// coarse-grid arm so duplicate-heavy samples are exercised.
+fn sample_strategy() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(
+        prop_oneof![(0u32..64).prop_map(|v| f64::from(v) * 100.0), 0.0f64..1e9],
+        1..200,
+    )
+}
+
+/// Percentiles on a fine grid over (0, 1], endpoint included.
+fn percentile_strategy() -> impl Strategy<Value = f64> {
+    (1u32..1_000_001).prop_map(|k| f64::from(k) / 1e6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn matches_sort_and_index_reference(
+        samples in sample_strategy(),
+        p in percentile_strategy(),
+    ) {
+        prop_assert_eq!(
+            nearest_rank_percentile_ns(&samples, p),
+            reference_percentile(&samples, p),
+            "p = {}, n = {}", p, samples.len()
+        );
+    }
+
+    #[test]
+    fn tiny_percentiles_return_the_minimum(samples in sample_strategy()) {
+        // p → 0⁺: ⌈p·n⌉ rounds to 1 long before it could hit 0, and the
+        // rank clamp guarantees it — the result is the sample minimum.
+        let minimum = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        for p in [1e-300, 1e-12, 1e-6] {
+            prop_assert_eq!(nearest_rank_percentile_ns(&samples, p), minimum);
+            prop_assert_eq!(reference_percentile(&samples, p), minimum);
+        }
+        prop_assert_eq!(
+            nearest_rank_percentile_ns(&samples, 1.0),
+            samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        );
+    }
+
+    #[test]
+    fn constant_samples_collapse_every_percentile(
+        value in 0.0f64..1e9,
+        n in 1usize..64,
+        p in percentile_strategy(),
+    ) {
+        let samples = vec![value; n];
+        prop_assert_eq!(nearest_rank_percentile_ns(&samples, p), value);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_in_p(samples in sample_strategy()) {
+        let ps = [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0];
+        let values: Vec<f64> =
+            ps.iter().map(|&p| nearest_rank_percentile_ns(&samples, p)).collect();
+        for pair in values.windows(2) {
+            prop_assert!(pair[0] <= pair[1], "percentile must be monotone: {:?}", values);
+        }
+    }
+}
