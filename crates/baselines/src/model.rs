@@ -309,6 +309,43 @@ mod tests {
     }
 
     #[test]
+    fn baselines_agree_with_fafnir_for_lifted_operators() {
+        use crate::no_ndp::NoNdpEngine;
+        use crate::recnmp::RecNmpEngine;
+        use crate::tensordimm::TensorDimmEngine;
+        use fafnir_core::timing::PeTiming;
+        use fafnir_core::{indexset, FafnirConfig, ReduceOp, StripedSource};
+
+        let mem = fafnir_mem::MemoryConfig::ddr4_2400_4ch();
+        let source = StripedSource::new(mem.topology, 128);
+        let batch = Batch::from_index_sets([indexset![1, 2, 5, 6], indexset![3, 4, 5]]);
+        for op in [ReduceOp::Mean, ReduceOp::ArgMax, ReduceOp::TopK { k: 2 }] {
+            let config = FafnirConfig { op, ..FafnirConfig::paper_default() };
+            let fafnir = FafnirEngine::new(config, mem).unwrap();
+            let expected = LookupEngine::lookup(&fafnir, &batch, &source).unwrap().outputs;
+            let no_ndp = NoNdpEngine::new(mem, CoreModel::server_cpu(), op);
+            let tensordimm = TensorDimmEngine::new(mem, PeTiming::fpga_200mhz(), op);
+            let recnmp =
+                RecNmpEngine::new(mem, CoreModel::server_cpu(), PeTiming::fpga_200mhz(), op);
+            let outcomes = [
+                LookupEngine::lookup(&no_ndp, &batch, &source).unwrap(),
+                LookupEngine::lookup(&tensordimm, &batch, &source).unwrap(),
+                LookupEngine::lookup(&recnmp, &batch, &source).unwrap(),
+            ];
+            for outcome in &outcomes {
+                assert_eq!(outcome.outputs.len(), expected.len(), "{op}");
+                for ((qa, got), (qb, want)) in outcome.outputs.iter().zip(&expected) {
+                    assert_eq!(qa, qb, "{op} query order");
+                    assert_eq!(got.len(), want.len(), "{op} output width");
+                    for (x, y) in got.iter().zip(want) {
+                        assert!((x - y).abs() <= 1e-3_f32.max(y.abs() * 1e-4), "{op}: {x} vs {y}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn sustained_is_the_slowest_stage() {
         let outcome = LookupOutcome {
             outputs: Vec::new(),

@@ -47,16 +47,23 @@ impl NoNdpEngine {
         let read_count = plan.reads.len() as u64;
         let memory_ns = gathered.idle_ns;
 
-        // Core-side reduction: every query folds q vectors into one.
+        // The cores run the operator's accumulator, so software combines
+        // cost `acc_dim` lanes per fold (== `dim` for the element-wise ops,
+        // `dim + 1` for Mean's carried count, `2k` for TopK heaps).
+        let operator = self.op.operator();
+        let acc_dim = operator.acc_dim(source.vector_dim());
+
+        // Core-side reduction: every query folds q accumulators into one.
         let partials: u64 = batch.total_references() as u64;
         let outputs = batch.len() as u64;
-        let compute_ns = self.core.reduce_ns(partials, outputs, source.vector_dim());
+        let compute_ns = self.core.reduce_ns(partials, outputs, acc_dim);
 
         // Functional outputs via the software reference (that is literally
-        // what this baseline does).
-        let outputs_vec = fafnir_core::engine::reference_lookup(batch, source, self.op);
+        // what this baseline does): lift → combine → finalize per query.
+        let outputs_vec =
+            fafnir_core::engine::reference_lookup_with(batch, source, operator.as_ref());
 
-        let dim = source.vector_dim() as u64;
+        let dim = acc_dim as u64;
         LookupOutcome {
             outputs: outputs_vec,
             total_ns: memory_ns + compute_ns,

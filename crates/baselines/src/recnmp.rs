@@ -128,7 +128,8 @@ impl RecNmpEngine {
         }
         let topology = self.mem_config.topology;
         let vector_bytes = source.vector_dim() * 4;
-        let dim = source.vector_dim() as u64;
+        // NDP combines fold operator accumulators, priced at `acc_dim` lanes.
+        let dim = self.op.operator().acc_dim(source.vector_dim()) as u64;
 
         let mut reads = Vec::new();
         let mut cache_hits: u64 = 0;
@@ -171,15 +172,18 @@ impl RecNmpEngine {
     ) -> LookupOutcome {
         let batch = &plan.mem.batch;
         let vector_bytes = source.vector_dim() * 4;
-        let dim = source.vector_dim() as u64;
+        let operator = self.op.operator();
+        let acc_dim = operator.acc_dim(source.vector_dim());
+        let dim = acc_dim as u64;
         let reads = plan.mem.reads.len() as u64;
 
         let memory_ns = gathered.idle_ns;
         let ndp_tail_ns = plan.max_group_chain as f64 * self.pe_timing.reduce_latency_ns();
-        let core_ns =
-            self.core.reduce_ns(plan.total_partials, batch.len() as u64, source.vector_dim());
+        let core_ns = self.core.reduce_ns(plan.total_partials, batch.len() as u64, acc_dim);
         let compute_ns = ndp_tail_ns + core_ns;
-        let outputs = fafnir_core::engine::reference_lookup(batch, source, self.op);
+        // The host-side merge folds the same accumulators the DIMM NDPs
+        // produce, so outputs come from the operator trait path.
+        let outputs = fafnir_core::engine::reference_lookup_with(batch, source, operator.as_ref());
         let core_elem_ops = plan.total_partials.saturating_sub(batch.len() as u64) * dim;
         let bytes_to_host = plan.total_partials * vector_bytes as u64;
         let host_transfer_ns = self.core.transfer_ns(bytes_to_host);

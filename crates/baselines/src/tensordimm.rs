@@ -94,8 +94,11 @@ impl TensorDimmEngine {
         let n = batch.len() as f64;
         let compute_ns = ((q - 1.0).max(0.0) + (n - 1.0).max(0.0)) * stage_ns;
 
-        let outputs = fafnir_core::engine::reference_lookup(batch, source, self.op);
-        let dim = source.vector_dim() as u64;
+        // Functional outputs go through the operator trait (lift → combine →
+        // finalize), so the DIMM adders model any accumulator the tree can.
+        let operator = self.op.operator();
+        let outputs = fafnir_core::engine::reference_lookup_with(batch, source, operator.as_ref());
+        let dim = operator.acc_dim(source.vector_dim()) as u64;
         let partials = batch.total_references() as u64;
 
         let bytes_to_host = batch.len() as u64 * vector_bytes as u64;

@@ -3,7 +3,7 @@
 
 use fafnir_baselines::{LookupEngine, LookupOutcome, NoNdpEngine, RecNmpEngine, TensorDimmEngine};
 use fafnir_core::model::report::DeploymentSummary;
-use fafnir_core::{FafnirConfig, FafnirEngine, StripedSource};
+use fafnir_core::{FafnirConfig, FafnirEngine, PeTiming, StripedSource};
 use fafnir_mem::MemoryConfig;
 use fafnir_sparse::{fafnir_spmv, gen, two_step, LilMatrix, SpmvTiming};
 use fafnir_workloads::query::{BatchGenerator, Popularity};
@@ -43,6 +43,7 @@ pub fn usage() -> String {
                 --batch N (32) --query-len Q (16) --skew S (1.15)\n\
                 --universe U (2000) --ranks R (32) --seed X (7)\n\
                 --engine fafnir|recnmp|tensordimm|no-ndp|all (all)\n\
+                --op sum|mean|max|min|argmax|topk:K (sum)\n\
                 --no-dedup --interactive --refresh\n\
        serve    simulate an online lookup service in virtual time\n\
                 --rate QPS (1e6) --process poisson|onoff (poisson)\n\
@@ -51,6 +52,7 @@ pub fn usage() -> String {
                 --duration-queries N (512) --queue-capacity C (1024)\n\
                 --shed drop-newest|drop-oldest (drop-newest)\n\
                 --skew S (1.15) --universe U (2000) --query-len Q (16)\n\
+                --op sum|mean|max|min|argmax|topk:K (sum)\n\
                 --seed X (7) --no-dedup --json\n\
                 --faults none|outage|slow:MULT:N|crash:MTTF:MTTR (none)\n\
                 --timeout-ns T (off) --retries R (0) --backoff-ns B (1000)\n\
@@ -68,6 +70,11 @@ pub fn usage() -> String {
                 --skew S --universe U --query-len Q --seed X\n\
        help     this text\n"
         .to_string()
+}
+
+/// Parses `--op sum|mean|max|min|argmax|topk:K` (default `sum`).
+fn reduce_op(args: &ParsedArgs) -> Result<fafnir_core::ReduceOp, ArgError> {
+    args.get_or("op", "sum").parse().map_err(|e| ArgError(format!("flag `--op`: {e}")))
 }
 
 fn memory_for(ranks: usize) -> Result<MemoryConfig, ArgError> {
@@ -95,6 +102,7 @@ fn lookup(args: &ParsedArgs) -> Result<String, ArgError> {
     let ranks: usize = args.number_or("ranks", 32)?;
     let seed: u64 = args.number_or("seed", 7)?;
     let engine_choice = args.get_or("engine", "all");
+    let op = reduce_op(args)?;
     if batch_size == 0 || query_len == 0 {
         return Err(ArgError("--batch and --query-len must be non-zero".into()));
     }
@@ -120,6 +128,7 @@ fn lookup(args: &ParsedArgs) -> Result<String, ArgError> {
     let config = FafnirConfig {
         ranks_per_leaf: ranks.min(2),
         dedup: !args.switch("no-dedup"),
+        op,
         ..FafnirConfig::paper_default()
     };
     if !["all", "fafnir", "recnmp", "tensordimm", "no-ndp"].contains(&engine_choice) {
@@ -151,19 +160,24 @@ fn lookup(args: &ParsedArgs) -> Result<String, ArgError> {
         }
     }
     if wants("recnmp") {
-        let outcome = RecNmpEngine::paper_default(mem)
-            .lookup(&batch, &source)
-            .map_err(|e| ArgError(e.to_string()))?;
+        let outcome = RecNmpEngine::new(
+            mem,
+            fafnir_baselines::CoreModel::server_cpu(),
+            PeTiming::fpga_200mhz(),
+            op,
+        )
+        .lookup(&batch, &source)
+        .map_err(|e| ArgError(e.to_string()))?;
         out.push_str(&outcome_row("recnmp", &outcome));
     }
     if wants("tensordimm") {
-        let outcome = TensorDimmEngine::paper_default(mem)
+        let outcome = TensorDimmEngine::new(mem, PeTiming::fpga_200mhz(), op)
             .lookup(&batch, &source)
             .map_err(|e| ArgError(e.to_string()))?;
         out.push_str(&outcome_row("tensordimm", &outcome));
     }
     if wants("no-ndp") {
-        let outcome = NoNdpEngine::paper_default(mem)
+        let outcome = NoNdpEngine::new(mem, fafnir_baselines::CoreModel::server_cpu(), op)
             .lookup(&batch, &source)
             .map_err(|e| ArgError(e.to_string()))?;
         out.push_str(&outcome_row("no-ndp", &outcome));
@@ -249,8 +263,11 @@ fn serve(args: &ParsedArgs) -> Result<String, ArgError> {
     };
 
     let mem = MemoryConfig::ddr4_2400_4ch();
-    let engine_config =
-        FafnirConfig { dedup: !args.switch("no-dedup"), ..FafnirConfig::paper_default() };
+    let engine_config = FafnirConfig {
+        dedup: !args.switch("no-dedup"),
+        op: reduce_op(args)?,
+        ..FafnirConfig::paper_default()
+    };
     let engine = FafnirEngine::new(engine_config, mem).map_err(|e| ArgError(e.to_string()))?;
     let source = StripedSource::new(mem.topology, 128);
     let popularity =
@@ -602,6 +619,38 @@ mod tests {
         let out = run_line("lookup --batch 4 --query-len 4 --engine fafnir --no-dedup").unwrap();
         assert!(out.contains("fafnir"));
         assert!(!out.contains("recnmp"));
+    }
+
+    #[test]
+    fn lookup_accepts_every_reduce_op() {
+        for op in ["sum", "mean", "max", "min", "argmax", "topk:4"] {
+            let out = run_line(&format!("lookup --batch 4 --query-len 4 --op {op}")).unwrap();
+            assert!(out.contains("fafnir"), "--op {op}:\n{out}");
+        }
+    }
+
+    #[test]
+    fn serve_accepts_reduce_ops() {
+        let out = run_line(
+            "serve --rate 2e6 --policy deadline --max-wait-ns 20000 \
+             --workers 2 --duration-queries 48 --seed 7 --op mean",
+        )
+        .unwrap();
+        assert!(out.contains("p50"), "{out}");
+    }
+
+    #[test]
+    fn op_flag_rejects_garbage_and_duplicates() {
+        for bad in ["bogus", "topk:0", "topk:x", "topk:"] {
+            let error = run_line(&format!("lookup --op {bad}")).unwrap_err();
+            assert!(error.0.contains("--op"), "`{bad}` must fail on --op: {error}");
+        }
+        assert!(run_line("serve --op bogus --duration-queries 8").unwrap_err().0.contains("--op"));
+        let duplicate = crate::args::ParsedArgs::parse(
+            "lookup --op sum --op mean".split_whitespace().map(String::from),
+        )
+        .unwrap_err();
+        assert!(duplicate.0.contains("twice"), "{duplicate}");
     }
 
     #[test]

@@ -236,6 +236,36 @@ impl Batch {
             })
             .collect()
     }
+
+    /// Operator-generic variant of [`Batch::reference_outputs`]: every
+    /// fetched vector is lifted with its index, folded in query order and
+    /// finalized — the software reference for index-aware operators
+    /// (`ArgMax`, `TopK`) that [`crate::reduce::ReduceOp::reduce_all`]
+    /// cannot express.
+    #[must_use]
+    pub fn reference_outputs_with<F>(
+        &self,
+        operator: &dyn crate::reduce::ReduceOperator,
+        mut fetch: F,
+    ) -> Vec<(QueryId, Option<Vec<f32>>)>
+    where
+        F: FnMut(VectorIndex) -> Vec<f32>,
+    {
+        self.queries
+            .iter()
+            .map(|query| {
+                let mut acc: Option<Vec<f32>> = None;
+                for index in query.indices.iter() {
+                    let lifted = operator.lift(index, &fetch(index));
+                    match &mut acc {
+                        None => acc = Some(lifted),
+                        Some(acc) => operator.combine_into(acc, &lifted),
+                    }
+                }
+                (query.id, acc.map(|acc| operator.finalize(&acc)))
+            })
+            .collect()
+    }
 }
 
 impl FromIterator<IndexSet> for Batch {

@@ -315,6 +315,29 @@ impl CycleTree {
     ///
     /// Panics if the input list length does not match the topology.
     pub fn run(&self, rank_inputs: Vec<Vec<Item>>) -> Result<CycleRun, CycleSimError> {
+        self.run_with(&*self.config.op.operator(), rank_inputs)
+    }
+
+    /// Operator-generic variant of [`CycleTree::run`]: PEs combine item
+    /// values with `operator`; the leaf inputs must already be lifted
+    /// accumulators. All timing constants (link cycles, reduce path,
+    /// initiation interval) derive from the configuration alone, so the
+    /// cycle-exact parity with [`CycleTree::run_stepped_with`] holds for any
+    /// operator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycleSimError::Deadlock`] under the same conditions as
+    /// [`CycleTree::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input list length does not match the topology.
+    pub fn run_with(
+        &self,
+        operator: &dyn crate::reduce::ReduceOperator,
+        rank_inputs: Vec<Vec<Item>>,
+    ) -> Result<CycleRun, CycleSimError> {
         let SimSetup {
             mut states,
             levels: _,
@@ -328,6 +351,7 @@ impl CycleTree {
         } = self.prepare(rank_inputs);
         let pe = ProcessingElement { op: self.config.op, timing: self.config.pe_timing };
         let total_pes = states.len();
+        let pe_fire = |a: &[Item], b: &[Item]| pe.process_with(operator, a, b);
 
         // Ready-queue of (cycle, pe) wake-ups. Every future arrival and
         // scheduled emission is pushed, so the heap is also the exact set of
@@ -382,7 +406,7 @@ impl CycleTree {
                             state.arrivals.drain(..).partition(|&(_, _, is_b)| !is_b);
                         let a: Vec<Item> = a.into_iter().map(|(_, item, _)| item).collect();
                         let b: Vec<Item> = b.into_iter().map(|(_, item, _)| item).collect();
-                        let (outputs, _) = pe.process(&a, &b);
+                        let (outputs, _) = pe_fire(&a, &b);
                         state.occupancy = 0;
                         pending_total += outputs.len();
                         for (position, item) in outputs.into_iter().enumerate() {
@@ -515,6 +539,25 @@ impl CycleTree {
     ///
     /// Panics if the input list length does not match the topology.
     pub fn run_stepped(&self, rank_inputs: Vec<Vec<Item>>) -> Result<CycleRun, CycleSimError> {
+        self.run_stepped_with(&*self.config.op.operator(), rank_inputs)
+    }
+
+    /// Operator-generic variant of [`CycleTree::run_stepped`] (see
+    /// [`CycleTree::run_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycleSimError::Deadlock`] under the same conditions as
+    /// [`CycleTree::run_stepped`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input list length does not match the topology.
+    pub fn run_stepped_with(
+        &self,
+        operator: &dyn crate::reduce::ReduceOperator,
+        rank_inputs: Vec<Vec<Item>>,
+    ) -> Result<CycleRun, CycleSimError> {
         let SimSetup {
             mut states,
             levels,
@@ -527,6 +570,7 @@ impl CycleTree {
             cycle_ns,
         } = self.prepare(rank_inputs);
         let pe = ProcessingElement { op: self.config.op, timing: self.config.pe_timing };
+        let pe_fire = |a: &[Item], b: &[Item]| pe.process_with(operator, a, b);
 
         let mut stall_cycles = 0u64;
         let mut max_occupancy = 0usize;
@@ -552,7 +596,7 @@ impl CycleTree {
                                 state.arrivals.drain(..).partition(|&(_, _, is_b)| !is_b);
                             let a: Vec<Item> = a.into_iter().map(|(_, item, _)| item).collect();
                             let b: Vec<Item> = b.into_iter().map(|(_, item, _)| item).collect();
-                            let (outputs, _) = pe.process(&a, &b);
+                            let (outputs, _) = pe_fire(&a, &b);
                             state.occupancy = 0;
                             for (position, item) in outputs.into_iter().enumerate() {
                                 let emit = cycle + reduce_cycles + position as u64 * interval;
@@ -769,6 +813,43 @@ mod tests {
         let fast = sim.run(inputs_for(&batch, 8)).unwrap();
         let stepped = sim.run_stepped(inputs_for(&batch, 8)).unwrap();
         assert_eq!(fast, stepped, "event-driven and stepped engines must agree exactly");
+    }
+
+    #[test]
+    fn event_engine_matches_stepped_under_lifted_operators() {
+        // Cycle-exact parity must hold for operators with wider
+        // accumulators too (timing constants derive from the config, not
+        // the accumulator width). Mean carries dim+1, TopK carries 2k.
+        use crate::inject::build_rank_inputs_with;
+        use crate::reduce::ReduceOperator;
+        let batch =
+            Batch::from_index_sets([indexset![0, 1, 5, 6], indexset![2, 3, 5], indexset![7, 4, 1]]);
+        let tree = tree(8);
+        let sim = CycleTree::new(&tree, 32).unwrap();
+        let operators: Vec<std::sync::Arc<dyn ReduceOperator>> =
+            vec![ReduceOp::Mean.operator(), (ReduceOp::TopK { k: 2 }).operator()];
+        for operator in operators {
+            let lifted = |_: ()| {
+                let gathered: Vec<GatheredVector> = batch
+                    .unique_indices()
+                    .iter()
+                    .map(|index| GatheredVector {
+                        index,
+                        rank: index.value() as usize % 8,
+                        value: vec![index.value() as f32; 4],
+                        ready_ns: 50.0 + 5.0 * f64::from(index.value()),
+                    })
+                    .collect();
+                build_rank_inputs_with(&batch, &gathered, 8, 2, &*operator, &PeTiming::default())
+            };
+            let fast = sim.run_with(&*operator, lifted(())).unwrap();
+            let stepped = sim.run_stepped_with(&*operator, lifted(())).unwrap();
+            assert_eq!(fast, stepped, "engines diverged under {}", operator.name());
+            // Same completion as the Sum run on the same batch: the
+            // accumulator width must not leak into timing.
+            let sum_run = sim.run(inputs_for(&batch, 8)).unwrap();
+            assert_eq!(fast.completion_cycle, sum_run.completion_cycle);
+        }
     }
 
     #[test]

@@ -27,10 +27,10 @@ use crate::config::FafnirConfig;
 use crate::cycle_sim::CycleTree;
 use crate::error::FafnirError;
 use crate::index::{IndexSet, QueryId, VectorIndex};
-use crate::inject::{build_rank_inputs, GatheredVector};
+use crate::inject::{build_rank_inputs_with, GatheredVector};
 use crate::pipeline::{GatherEngine, GatherOutcome, MemoryPlan, PlannedRead};
 use crate::placement::EmbeddingSource;
-use crate::reduce::ReduceOp;
+use crate::reduce::{ReduceOp, ReduceOperator};
 use crate::tree::{ReductionTree, TreeRun, TreeStats};
 
 /// Latency decomposition of a lookup, in nanoseconds.
@@ -219,6 +219,11 @@ pub struct FafnirEngine {
     mem_config: MemoryConfig,
     tree: ReductionTree,
     backend: TreeBackend,
+    /// Operator override; `None` instantiates from `config.op`. Lives here
+    /// (not in [`FafnirConfig`], which stays `Copy` + serde) so stateful
+    /// operators like a similarity-search [`crate::reduce::TopKOperator`]
+    /// with a per-lookup scoring vector can be injected.
+    operator: Option<std::sync::Arc<dyn ReduceOperator>>,
 }
 
 impl FafnirEngine {
@@ -235,7 +240,7 @@ impl FafnirEngine {
         mem_config.ndp_data_path = true;
         mem_config.validate().map_err(FafnirError::InvalidConfig)?;
         let tree = ReductionTree::new(config, mem_config.topology.total_ranks())?;
-        Ok(Self { config, mem_config, tree, backend: TreeBackend::EventTimed })
+        Ok(Self { config, mem_config, tree, backend: TreeBackend::EventTimed, operator: None })
     }
 
     /// Paper-default FAFNIR over the given memory system.
@@ -258,6 +263,28 @@ impl FafnirEngine {
     #[must_use]
     pub fn backend(&self) -> TreeBackend {
         self.backend
+    }
+
+    /// Overrides the reduction operator for this engine instance.
+    ///
+    /// By default the engine instantiates the operator named by
+    /// `config.op`. This hook injects a *stateful* operator instead — e.g.
+    /// [`crate::reduce::TopKOperator::with_scoring`] carrying a
+    /// similarity-search query vector. The configured `op` keeps governing
+    /// serialized configs and reports; only the reduce stage's arithmetic is
+    /// overridden. Timing is unchanged either way (link and PE latencies
+    /// derive from `vector_dim`, not the accumulator width).
+    #[must_use]
+    pub fn with_operator(mut self, operator: std::sync::Arc<dyn ReduceOperator>) -> Self {
+        self.operator = Some(operator);
+        self
+    }
+
+    /// The operator the reduce stage will apply: the override if one was
+    /// injected, else the one named by `config.op`.
+    #[must_use]
+    pub fn active_operator(&self) -> std::sync::Arc<dyn ReduceOperator> {
+        self.operator.clone().unwrap_or_else(|| self.config.op.operator())
     }
 
     /// The accelerator configuration.
@@ -453,21 +480,22 @@ impl GatherEngine for FafnirEngine {
             .collect();
         let memory_ns = gathered.last_ready_ns();
 
+        let operator = self.active_operator();
         let ranks = self.mem_config.topology.total_ranks();
-        let inputs = build_rank_inputs(
+        let inputs = build_rank_inputs_with(
             batch,
             &gathered_vectors,
             ranks,
             self.config.ranks_per_leaf,
-            self.config.op,
+            &*operator,
             &self.config.pe_timing,
         );
         let run = match self.backend {
-            TreeBackend::EventTimed => self.tree.run(inputs),
+            TreeBackend::EventTimed => self.tree.run_with(&*operator, inputs),
             TreeBackend::CycleStepped { fifo_capacity } => {
                 let cycle = CycleTree::new(&self.tree, fifo_capacity)
                     .map_err(|e| FafnirError::InvalidConfig(e.to_string()))?
-                    .run(inputs)
+                    .run_with(&*operator, inputs)
                     .map_err(|e| FafnirError::InvalidConfig(e.to_string()))?;
                 TreeRun {
                     outputs: cycle.outputs,
@@ -483,7 +511,7 @@ impl GatherEngine for FafnirEngine {
                 }
             }
         };
-        let mut outputs = run.query_outputs(self.config.op);
+        let mut outputs = run.query_outputs_with(&*operator);
         if outputs.len() != batch.len() {
             return Err(FafnirError::InvalidBatch(format!(
                 "{} of {} queries did not complete in the tree",
@@ -528,8 +556,20 @@ pub fn reference_lookup<S: EmbeddingSource>(
     source: &S,
     op: ReduceOp,
 ) -> Vec<(QueryId, Vec<f32>)> {
+    reference_lookup_with(batch, source, &*op.operator())
+}
+
+/// Operator-generic variant of [`reference_lookup`]: lifts, folds and
+/// finalizes with `operator`, so index-aware operators (`ArgMax`, `TopK`)
+/// validate too.
+#[must_use]
+pub fn reference_lookup_with<S: EmbeddingSource>(
+    batch: &Batch,
+    source: &S,
+    operator: &dyn ReduceOperator,
+) -> Vec<(QueryId, Vec<f32>)> {
     batch
-        .reference_outputs(op, |index| source.value_of(index))
+        .reference_outputs_with(operator, |index| source.value_of(index))
         .into_iter()
         .filter_map(|(query, value)| value.map(|v| (query, v)))
         .collect()
@@ -692,6 +732,82 @@ mod tests {
     #[should_panic(expected = "percentile must be in (0, 1]")]
     fn percentile_zero_is_rejected() {
         let _ = nearest_rank_percentile_ns(&[1.0], 0.0);
+    }
+
+    #[test]
+    fn every_reduce_op_matches_its_reference_end_to_end() {
+        let source = source();
+        let batch = Batch::from_index_sets([
+            indexset![1, 2, 5, 6],
+            indexset![3, 4, 5],
+            indexset![7, 40, 100, 260],
+        ]);
+        for op in [
+            ReduceOp::Sum,
+            ReduceOp::Mean,
+            ReduceOp::Max,
+            ReduceOp::Min,
+            ReduceOp::ArgMax,
+            ReduceOp::TopK { k: 2 },
+        ] {
+            let config = FafnirConfig { op, ..FafnirConfig::paper_default() };
+            let engine = FafnirEngine::new(config, MemoryConfig::ddr4_2400_4ch()).unwrap();
+            let result = engine.lookup(&batch, &source).unwrap();
+            let reference = reference_lookup_with(&batch, &source, &*op.operator());
+            assert_eq!(result.outputs.len(), reference.len(), "{op}");
+            for ((qa, got), (qb, expected)) in result.outputs.iter().zip(&reference) {
+                assert_eq!(qa, qb);
+                assert_eq!(got.len(), expected.len(), "{op} output width");
+                for (x, y) in got.iter().zip(expected) {
+                    assert!((x - y).abs() < 1e-3, "{op} {qa}: {x} vs {y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_backend_agrees_with_event_backend_for_lifted_operators() {
+        let source = source();
+        let batch = Batch::from_index_sets([indexset![1, 2, 5, 6], indexset![3, 4, 5]]);
+        for op in [ReduceOp::Mean, ReduceOp::TopK { k: 3 }] {
+            let config = FafnirConfig { op, ..FafnirConfig::paper_default() };
+            let event = FafnirEngine::new(config, MemoryConfig::ddr4_2400_4ch()).unwrap();
+            let cycle = event.clone().with_backend(TreeBackend::CycleStepped { fifo_capacity: 32 });
+            let event_result = event.lookup(&batch, &source).unwrap();
+            let cycle_result = cycle.lookup(&batch, &source).unwrap();
+            assert_eq!(event_result.outputs, cycle_result.outputs, "{op}");
+        }
+    }
+
+    #[test]
+    fn operator_override_scores_against_an_injected_query_vector() {
+        use crate::reduce::TopKOperator;
+        let source = source();
+        let batch = Batch::from_index_sets([indexset![1, 2, 5, 6]]);
+        // A scoring vector aligned with index 5's value: dot(v, v) maximal
+        // among unit-similar candidates is just "most similar to v5".
+        let scoring = source.value_of(VectorIndex(5));
+        let operator = std::sync::Arc::new(TopKOperator::with_scoring(1, scoring.clone()));
+        let config = FafnirConfig { op: ReduceOp::TopK { k: 1 }, ..FafnirConfig::paper_default() };
+        let engine = FafnirEngine::new(config, MemoryConfig::ddr4_2400_4ch())
+            .unwrap()
+            .with_operator(operator.clone());
+        let result = engine.lookup(&batch, &source).unwrap();
+        let decoded = TopKOperator::decode(&result.outputs[0].1);
+        // Matches the software reference with the same operator…
+        let reference = reference_lookup_with(&batch, &source, &*operator);
+        assert_eq!(result.outputs[0].1, reference[0].1);
+        // …and the winner is the argmax of the dot-product over candidates.
+        let best = [1u32, 2, 5, 6]
+            .into_iter()
+            .max_by(|&a, &b| {
+                let score = |i: u32| -> f32 {
+                    scoring.iter().zip(source.value_of(VectorIndex(i))).map(|(w, x)| w * x).sum()
+                };
+                score(a).total_cmp(&score(b))
+            })
+            .unwrap();
+        assert_eq!(decoded[0].0, VectorIndex(best));
     }
 
     #[test]

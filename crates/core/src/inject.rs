@@ -18,7 +18,7 @@
 use crate::batch::Batch;
 use crate::index::{IndexSet, VectorIndex};
 use crate::item::{Header, Item, PendingQuery};
-use crate::reduce::ReduceOp;
+use crate::reduce::{ReduceOp, ReduceOperator};
 use crate::timing::PeTiming;
 
 /// Everything the injector needs to know about one gathered vector.
@@ -52,6 +52,26 @@ pub fn build_rank_inputs(
     op: ReduceOp,
     timing: &PeTiming,
 ) -> Vec<Vec<Item>> {
+    build_rank_inputs_with(batch, gathered, tree_ranks, ranks_per_leaf, &*op.operator(), timing)
+}
+
+/// Operator-generic variant of [`build_rank_inputs`]: every gathered vector
+/// is **lifted** into the operator's accumulator encoding at the leaf (so
+/// item values entering the tree are accumulators, not raw vectors), and
+/// co-resident operands pre-reduce with the operator's combine.
+///
+/// # Panics
+///
+/// Panics if any gathered vector names a rank `≥ tree_ranks`.
+#[must_use]
+pub fn build_rank_inputs_with(
+    batch: &Batch,
+    gathered: &[GatheredVector],
+    tree_ranks: usize,
+    ranks_per_leaf: usize,
+    operator: &dyn ReduceOperator,
+    timing: &PeTiming,
+) -> Vec<Vec<Item>> {
     let span = (ranks_per_leaf / 2).max(1);
     let mut inputs: Vec<Vec<Item>> = vec![Vec::new(); tree_ranks];
     let lookup = |index: VectorIndex| -> Option<&GatheredVector> {
@@ -75,10 +95,10 @@ pub fn build_rank_inputs(
         for group in by_side.values().filter(|group| group.len() >= 2) {
             let indices = IndexSet::from_iter_dedup(group.iter().map(|g| g.index));
             let remaining = query.indices.difference(&indices);
-            let mut value = group[0].value.clone();
+            let mut value = operator.lift(group[0].index, &group[0].value);
             let mut ready = group[0].ready_ns;
             for vector in &group[1..] {
-                op.combine_into(&mut value, &vector.value);
+                operator.combine_into(&mut value, &operator.lift(vector.index, &vector.value));
                 // Serial streaming reduction: each extra operand costs one
                 // reduce-path traversal after both operands are available.
                 ready = ready.max(vector.ready_ns) + timing.reduce_latency_ns();
@@ -107,7 +127,7 @@ pub fn build_rank_inputs(
         }
         let item = Item {
             header: std::sync::Arc::new(Header { indices: IndexSet::singleton(index), queries }),
-            value: vector.value.clone(),
+            value: operator.lift(index, &vector.value),
             ready_ns: vector.ready_ns,
         };
         inputs[vector.rank].push(item);
@@ -198,6 +218,22 @@ mod tests {
             build_rank_inputs(&batch, &gathered, 8, 2, ReduceOp::Sum, &PeTiming::default());
         let total: usize = inputs.iter().map(Vec::len).sum();
         assert_eq!(total, 1);
+    }
+
+    #[test]
+    fn lifting_operators_inject_accumulators() {
+        // Mean lifts each vector to [values…, count]: the shared item gets
+        // count 1 and the co-resident pre-reduce accumulates count 2.
+        let batch = Batch::from_index_sets([indexset![0, 8], indexset![1]]);
+        let gathered = gather(&[0, 1, 8], 8);
+        let operator = ReduceOp::Mean.operator();
+        let inputs =
+            build_rank_inputs_with(&batch, &gathered, 8, 2, &*operator, &PeTiming::default());
+        let pre = inputs[0].iter().find(|i| i.header.indices.len() == 2).unwrap();
+        assert_eq!(pre.value.len(), 5);
+        assert_eq!(pre.value[4], 2.0, "pre-reduced accumulator counts two vectors");
+        let shared = &inputs[1][0];
+        assert_eq!(shared.value, vec![1.0, 1.0, 1.0, 1.0, 1.0]);
     }
 
     #[test]

@@ -103,11 +103,19 @@ impl std::fmt::Display for Header {
 /// deep-cloning its index sets, and the rare in-place edits (the merge
 /// unit) copy-on-write via [`Arc::make_mut`]. Equality still compares the
 /// header contents, not the pointer.
+///
+/// The value is an opaque **operator accumulator** (see
+/// [`crate::reduce::ReduceOperator`]): its width is the operator's
+/// `acc_dim`, not necessarily the embedding dimension. For the element-wise
+/// operators the two coincide; `Mean` carries `dim + 1` (count in the last
+/// slot), `ArgMax` carries `2 × dim` and `TopK` carries `2k`. Headers,
+/// routing and timing never inspect the value, which is what lets one tree
+/// serve every operator.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Item {
     /// Routing and reduction metadata (shared; copy-on-write when edited).
     pub header: Arc<Header>,
-    /// The (partially) reduced vector.
+    /// The partially reduced accumulator (operator-defined width).
     pub value: Vec<f32>,
     /// Nanosecond timestamp at which this item became available (memory
     /// completion for leaves, PE output time inside the tree).

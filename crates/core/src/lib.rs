@@ -43,7 +43,9 @@
 //! * [`index`], [`item`], [`codec`] — indices, index sets, headers, and the
 //!   Table I bit-packed header wire format.
 //! * [`batch`] — queries, batches, unique-index extraction (Sec. IV-C).
-//! * [`reduce`] — reduction operators.
+//! * [`reduce`] — reduction operators: the [`ReduceOperator`] trait with
+//!   per-query accumulator state (Sum/Mean/Max/Min/ArgMax/TopK) and the
+//!   serde-visible [`ReduceOp`] specification.
 //! * [`pe`], [`timing`] — the PE microarchitecture and Table IV latencies.
 //! * [`tree`], [`inject`] — the reduction tree and leaf-input construction.
 //! * [`exec_trace`] — per-PE firing traces with a waterfall renderer.
@@ -82,8 +84,8 @@ pub mod verify;
 pub use batch::{Batch, Query};
 pub use config::FafnirConfig;
 pub use engine::{
-    nearest_rank_percentile_ns, FafnirEngine, LatencyBreakdown, LookupResult, StreamResult,
-    TrafficStats, TreeBackend,
+    nearest_rank_percentile_ns, reference_lookup, reference_lookup_with, FafnirEngine,
+    LatencyBreakdown, LookupResult, StreamResult, TrafficStats, TreeBackend,
 };
 pub use error::FafnirError;
 pub use index::{IndexSet, QueryId, VectorIndex};
@@ -94,7 +96,10 @@ pub use pipeline::{
     PlannedRead, ReadCompletion,
 };
 pub use placement::{EmbeddingSource, StripedSource};
-pub use reduce::ReduceOp;
+pub use reduce::{
+    ArgMaxOperator, MaxOperator, MeanOperator, MinOperator, ReduceOp, ReduceOperator, SumOperator,
+    TopKOperator,
+};
 pub use timing::PeTiming;
 pub use tree::{ReductionTree, TreeRun, TreeStats};
 pub use verify::{verify_engine, VerificationReport};

@@ -18,7 +18,7 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use crate::item::{Header, Item, PendingQuery};
-use crate::reduce::ReduceOp;
+use crate::reduce::{ReduceOp, ReduceOperator};
 use crate::timing::PeTiming;
 
 /// Operation counters accumulated by one PE invocation.
@@ -80,11 +80,25 @@ impl ProcessingElement {
     /// (the tree) applies output-port serialization.
     #[must_use]
     pub fn process(&self, a: &[Item], b: &[Item]) -> (Vec<Item>, PeOpCounts) {
+        self.process_with(&*self.op.operator(), a, b)
+    }
+
+    /// Operator-generic variant of [`ProcessingElement::process`]: the
+    /// compute units combine with `operator` instead of instantiating one
+    /// from `self.op`. Item values are treated as opaque accumulators; the
+    /// header dataflow (compare/forward/merge) is operator-independent.
+    #[must_use]
+    pub fn process_with(
+        &self,
+        operator: &dyn ReduceOperator,
+        a: &[Item],
+        b: &[Item],
+    ) -> (Vec<Item>, PeOpCounts) {
         let mut counts =
             PeOpCounts { max_input_items: a.len().max(b.len()) as u64, ..PeOpCounts::default() };
         let mut raw: Vec<Item> = Vec::new();
-        self.scan_side(a, b, &mut raw, &mut counts);
-        self.scan_side(b, a, &mut raw, &mut counts);
+        self.scan_side(operator, a, b, &mut raw, &mut counts);
+        self.scan_side(operator, b, a, &mut raw, &mut counts);
         counts.raw_outputs = raw.len() as u64;
         let merged = self.merge_unit(raw, &mut counts);
         counts.outputs = merged.len() as u64;
@@ -95,6 +109,7 @@ impl ProcessingElement {
     /// compared, per pending-query entry, against all items of `against`.
     fn scan_side(
         &self,
+        operator: &dyn ReduceOperator,
         from: &[Item],
         against: &[Item],
         raw: &mut Vec<Item>,
@@ -111,7 +126,7 @@ impl ProcessingElement {
                     // Paper's rule: the partner's remaining set must contain
                     // everything this item has already reduced.
                     if item.header.indices.is_subset_of(&partner_pending.remaining) {
-                        raw.push(self.reduce_items(item, partner, pending.query));
+                        raw.push(self.reduce_items(operator, item, partner, pending.query));
                         counts.reduces += 1;
                         matched = true;
                         break;
@@ -126,12 +141,19 @@ impl ProcessingElement {
     }
 
     /// Combines two items for one query.
-    fn reduce_items(&self, x: &Item, y: &Item, query: crate::index::QueryId) -> Item {
+    fn reduce_items(
+        &self,
+        operator: &dyn ReduceOperator,
+        x: &Item,
+        y: &Item,
+        query: crate::index::QueryId,
+    ) -> Item {
         let indices = x.header.indices.union(&y.header.indices);
         let x_pending = x.header.pending_for(query).expect("caller checked");
         let remaining = x_pending.remaining.difference(&y.header.indices);
         debug_assert!(remaining.is_disjoint_from(&indices));
-        let value = self.op.combine(&x.value, &y.value);
+        let mut value = x.value.clone();
+        operator.combine_into(&mut value, &y.value);
         let ready = x.ready_ns.max(y.ready_ns) + self.timing.reduce_latency_ns();
         Item {
             header: Arc::new(Header {
@@ -394,5 +416,27 @@ mod tests {
         let b = leaf(2, 3.0, &[(0, &[1])]);
         let (out, _) = pe.process(&[a], &[b]);
         assert_eq!(out[0].value, vec![5.0; 4]);
+    }
+
+    #[test]
+    fn process_with_runs_an_injected_operator() {
+        // A top-2 operator passed explicitly: item values are (score, index)
+        // accumulators, and the PE merges them like any other value.
+        use crate::reduce::TopKOperator;
+        let operator = TopKOperator::new(2);
+        let pe = ProcessingElement::new(ReduceOp::TopK { k: 2 });
+        let a = Item::new(
+            Header::leaf(VectorIndex(1), vec![PendingQuery::new(QueryId(0), indexset![2])]),
+            operator.lift(VectorIndex(1), &[5.0; 4]),
+        );
+        let b = Item::new(
+            Header::leaf(VectorIndex(2), vec![PendingQuery::new(QueryId(0), indexset![1])]),
+            operator.lift(VectorIndex(2), &[3.0; 4]),
+        );
+        let (out, counts) = pe.process_with(&operator, &[a], &[b]);
+        assert_eq!(counts.reduces, 2);
+        assert_eq!(out.len(), 1);
+        let decoded = TopKOperator::decode(&out[0].value);
+        assert_eq!(decoded, vec![(VectorIndex(1), 20.0), (VectorIndex(2), 12.0)]);
     }
 }

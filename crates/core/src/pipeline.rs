@@ -568,3 +568,54 @@ pub fn analytic_result(
         traffic,
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::Batch;
+    use crate::config::FafnirConfig;
+    use crate::engine::FafnirEngine;
+    use crate::index::{IndexSet, VectorIndex};
+    use crate::placement::StripedSource;
+    use crate::reduce::ReduceOp;
+    use fafnir_mem::MemoryConfig;
+
+    #[test]
+    fn parallel_driver_is_thread_count_invariant_for_every_operator() {
+        // The accumulator merge must commute with the submission-order
+        // merge: plans never share queries, so `merge_concurrent` only
+        // overlays latencies and extends outputs, and the result is
+        // byte-identical for any worker count — including for operators
+        // whose accumulators carry state (Mean counts, TopK heaps).
+        let mem = MemoryConfig::ddr4_2400_4ch();
+        let source = StripedSource::new(mem.topology, 128);
+        let batches: Vec<Batch> = (0..4u32)
+            .map(|k| {
+                Batch::from_index_sets([
+                    IndexSet::from_iter_dedup((0..6).map(|j| VectorIndex(k * 32 + j))),
+                    IndexSet::from_iter_dedup((4..10).map(|j| VectorIndex(k * 32 + j))),
+                ])
+            })
+            .collect();
+        for op in [ReduceOp::Sum, ReduceOp::Mean, ReduceOp::ArgMax, ReduceOp::TopK { k: 2 }] {
+            let config = FafnirConfig { op, ..FafnirConfig::paper_default() };
+            let engine = FafnirEngine::new(config, mem).unwrap();
+            let serial = ParallelBatchDriver::new(1).lookup_stream(&engine, &batches, &source);
+            let serial = serial.unwrap();
+            for threads in [2, 4] {
+                let parallel = ParallelBatchDriver::new(threads)
+                    .lookup_stream(&engine, &batches, &source)
+                    .unwrap();
+                assert_eq!(serial, parallel, "{op} diverged at {threads} threads");
+            }
+            // And the driver agrees with the plain sequential stream driver
+            // on functional outputs.
+            let stream_outputs: Vec<_> =
+                serial.per_batch.iter().flat_map(|r| r.outputs.clone()).collect();
+            for (batch, result) in batches.iter().zip(&serial.per_batch) {
+                assert_eq!(result.outputs.len(), batch.len(), "{op}");
+            }
+            assert_eq!(stream_outputs.len(), 8, "{op}");
+        }
+    }
+}

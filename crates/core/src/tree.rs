@@ -69,6 +69,28 @@ impl TreeRun {
         results
     }
 
+    /// Operator-generic variant of [`TreeRun::query_outputs`]: root items
+    /// hold accumulators, which are finalized through
+    /// [`crate::reduce::ReduceOperator::finalize`] (e.g. the mean division
+    /// using the count carried in the accumulator).
+    #[must_use]
+    pub fn query_outputs_with(
+        &self,
+        operator: &dyn crate::reduce::ReduceOperator,
+    ) -> Vec<(QueryId, Vec<f32>)> {
+        let mut results: Vec<(QueryId, Vec<f32>)> = Vec::new();
+        for item in &self.outputs {
+            for pending in &item.header.queries {
+                if pending.is_complete() {
+                    results.push((pending.query, operator.finalize(&item.value)));
+                }
+            }
+        }
+        results.sort_by_key(|(query, _)| *query);
+        results.dedup_by_key(|(query, _)| *query);
+        results
+    }
+
     /// Per-query completion time: the `ready_ns` of the root item answering
     /// each query.
     #[must_use]
@@ -154,7 +176,26 @@ impl ReductionTree {
     /// Panics if `rank_inputs.len() != leaf_count × ranks_per_leaf`.
     #[must_use]
     pub fn run(&self, rank_inputs: Vec<Vec<Item>>) -> TreeRun {
-        self.run_inner(rank_inputs, None)
+        self.run_inner(&*self.config.op.operator(), rank_inputs, None)
+    }
+
+    /// Operator-generic variant of [`ReductionTree::run`]: PEs combine item
+    /// values with `operator` instead of the configured [`crate::ReduceOp`]. The
+    /// leaf inputs must already be lifted accumulators (see
+    /// [`crate::inject::build_rank_inputs_with`]). Timing is unaffected —
+    /// link and PE latencies derive from the configured `vector_dim`, not
+    /// the accumulator width.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`ReductionTree::run`].
+    #[must_use]
+    pub fn run_with(
+        &self,
+        operator: &dyn crate::reduce::ReduceOperator,
+        rank_inputs: Vec<Vec<Item>>,
+    ) -> TreeRun {
+        self.run_inner(operator, rank_inputs, None)
     }
 
     /// Like [`ReductionTree::run`], but also records a per-PE firing trace
@@ -169,12 +210,13 @@ impl ReductionTree {
         rank_inputs: Vec<Vec<Item>>,
     ) -> (TreeRun, crate::exec_trace::ExecutionTrace) {
         let mut trace = crate::exec_trace::ExecutionTrace::new();
-        let run = self.run_inner(rank_inputs, Some(&mut trace));
+        let run = self.run_inner(&*self.config.op.operator(), rank_inputs, Some(&mut trace));
         (run, trace)
     }
 
     fn run_inner(
         &self,
+        operator: &dyn crate::reduce::ReduceOperator,
         rank_inputs: Vec<Vec<Item>>,
         mut trace: Option<&mut crate::exec_trace::ExecutionTrace>,
     ) -> TreeRun {
@@ -196,7 +238,16 @@ impl ReductionTree {
             let a: Vec<Item> = ranks_iter.by_ref().take(half).flatten().collect();
             let b: Vec<Item> =
                 ranks_iter.by_ref().take(self.config.ranks_per_leaf - half).flatten().collect();
-            level.push(self.fire_pe(&pe, a, b, &mut stats, 0, index, trace.as_deref_mut()));
+            level.push(self.fire_pe(
+                &pe,
+                operator,
+                a,
+                b,
+                &mut stats,
+                0,
+                index,
+                trace.as_deref_mut(),
+            ));
         }
         stats.per_level_outputs.push(level.iter().map(Vec::len).sum());
 
@@ -209,7 +260,16 @@ impl ReductionTree {
             while let Some(first) = children.next() {
                 let a = self.after_link(first);
                 let b = self.after_link(children.next().unwrap_or_default());
-                next.push(self.fire_pe(&pe, a, b, &mut stats, depth, index, trace.as_deref_mut()));
+                next.push(self.fire_pe(
+                    &pe,
+                    operator,
+                    a,
+                    b,
+                    &mut stats,
+                    depth,
+                    index,
+                    trace.as_deref_mut(),
+                ));
                 index += 1;
             }
             stats.per_level_outputs.push(next.iter().map(Vec::len).sum());
@@ -231,6 +291,7 @@ impl ReductionTree {
     fn fire_pe(
         &self,
         pe: &ProcessingElement,
+        operator: &dyn crate::reduce::ReduceOperator,
         a: Vec<Item>,
         b: Vec<Item>,
         stats: &mut TreeStats,
@@ -240,7 +301,7 @@ impl ReductionTree {
     ) -> Vec<Item> {
         let first_input_ns =
             a.iter().chain(&b).map(|item| item.ready_ns).fold(f64::INFINITY, f64::min);
-        let (mut out, counts) = pe.process(&a, &b);
+        let (mut out, counts) = pe.process_with(operator, &a, &b);
         stats.ops.merge(&counts);
         stats.pes += 1;
         stats.max_buffer_items = stats.max_buffer_items.max(counts.max_input_items);
@@ -445,6 +506,88 @@ mod tests {
         let run = tree.run(rank_inputs_ratio(&batch, 16, 4, 4));
         let outputs = run.query_outputs(ReduceOp::Sum);
         assert_eq!(outputs[0].1, vec![30.0; 4]);
+    }
+
+    #[test]
+    fn trait_path_sum_is_byte_identical_to_legacy() {
+        // The thin-adapter guarantee end-to-end: running the tree through
+        // the legacy enum path and through an explicit SumOperator must
+        // produce byte-identical outputs on a sharing-heavy batch.
+        let sets: Vec<_> = (0..12u32).map(|i| indexset![i % 8, (i + 3) % 8, 16 + i % 4]).collect();
+        let batch = Batch::from_index_sets(sets);
+        let tree = tree(8);
+        let legacy = tree.run(rank_inputs(&batch, 8, 4));
+        let operator = ReduceOp::Sum.operator();
+        let traited = tree.run_with(&*operator, rank_inputs(&batch, 8, 4));
+        let legacy_out = legacy.query_outputs(ReduceOp::Sum);
+        let traited_out = traited.query_outputs_with(&*operator);
+        assert_eq!(legacy_out.len(), traited_out.len());
+        for ((qa, a), (qb, b)) in legacy_out.iter().zip(&traited_out) {
+            assert_eq!(qa, qb);
+            assert_eq!(
+                a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+            );
+        }
+        assert_eq!(legacy.stats, traited.stats);
+    }
+
+    #[test]
+    fn mean_through_the_tree_divides_exactly_once() {
+        let batch = Batch::from_index_sets([indexset![0, 5, 9, 31], indexset![5, 6]]);
+        let operator = ReduceOp::Mean.operator();
+        let gathered: Vec<crate::inject::GatheredVector> = batch
+            .unique_indices()
+            .iter()
+            .map(|index| crate::inject::GatheredVector {
+                index,
+                rank: index.value() as usize % 32,
+                value: vec![index.value() as f32; 4],
+                ready_ns: 0.0,
+            })
+            .collect();
+        let inputs = crate::inject::build_rank_inputs_with(
+            &batch,
+            &gathered,
+            32,
+            2,
+            &*operator,
+            &crate::timing::PeTiming::default(),
+        );
+        let run = tree(32).run_with(&*operator, inputs);
+        let outputs = run.query_outputs_with(&*operator);
+        assert_eq!(outputs[0].1, vec![(0.0 + 5.0 + 9.0 + 31.0) / 4.0; 4]);
+        assert_eq!(outputs[1].1, vec![5.5; 4]);
+    }
+
+    #[test]
+    fn topk_through_the_tree_selects_best_indices() {
+        use crate::reduce::TopKOperator;
+        let batch = Batch::from_index_sets([indexset![0, 7, 13, 21, 30]]);
+        let operator = TopKOperator::new(2); // score = element sum = 4·index
+        let gathered: Vec<crate::inject::GatheredVector> = batch
+            .unique_indices()
+            .iter()
+            .map(|index| crate::inject::GatheredVector {
+                index,
+                rank: index.value() as usize % 32,
+                value: vec![index.value() as f32; 4],
+                ready_ns: 0.0,
+            })
+            .collect();
+        let inputs = crate::inject::build_rank_inputs_with(
+            &batch,
+            &gathered,
+            32,
+            2,
+            &operator,
+            &crate::timing::PeTiming::default(),
+        );
+        let run = tree(32).run_with(&operator, inputs);
+        assert_eq!(run.stats.incomplete_outputs, 0);
+        let outputs = run.query_outputs_with(&operator);
+        let decoded = TopKOperator::decode(&outputs[0].1);
+        assert_eq!(decoded, vec![(VectorIndex(30), 120.0), (VectorIndex(21), 84.0)]);
     }
 
     #[test]

@@ -309,7 +309,12 @@ struct Job {
     formed_ns: f64,
     state: JobState,
     /// Fault-free engine result for this batch; per-attempt numbers are
-    /// derived via [`LookupResult::scale_service_time`].
+    /// derived via [`LookupResult::scale_service_time`], which scales
+    /// *latencies only*. The functional outputs — including stateful
+    /// finalizations such as Mean's root-side divide by the per-query
+    /// vector count — are computed exactly once at batch formation and
+    /// shared by every retry and hedge attempt, so no attempt can
+    /// double-finalize or re-count a query's vectors.
     base: LookupResult,
     primary: Option<InFlight>,
     hedge: Option<InFlight>,
@@ -588,8 +593,14 @@ impl Sim<'_> {
         self.plan().worker(w)
     }
 
-    /// Closes a batch: runs the engine once (fault-free base service) and
-    /// registers the job plus its placeholder [`BatchRecord`].
+    /// Closes a batch: runs the engine exactly once (fault-free base
+    /// service) and registers the job plus its placeholder [`BatchRecord`].
+    ///
+    /// This single lookup is the *only* place the reduction operator runs
+    /// for this batch. Retries and hedges replay the timing of `base` via
+    /// [`LookupResult::scale_service_time`]; they never re-reduce, so
+    /// per-query accumulator state (Mean's carried count, TopK's heap) is
+    /// finalized once per batch no matter how many attempts are started.
     fn form_job<E: GatherEngine, S: EmbeddingSource>(
         &mut self,
         ids: Vec<usize>,

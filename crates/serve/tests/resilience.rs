@@ -222,3 +222,97 @@ fn total_outage_sheds_everything_and_serializes_null_latency() {
     // The human table renders too (no NaNs, no panic).
     assert!(report.render_table().contains("no samples"));
 }
+
+/// Wraps an engine to count how many times the serving layer actually runs
+/// a reduction (one `preprocess` call per `GatherEngine::lookup`).
+struct CountingEngine<'a> {
+    inner: &'a FafnirEngine,
+    lookups: std::cell::Cell<usize>,
+}
+
+impl fafnir_core::GatherEngine for CountingEngine<'_> {
+    type Plan = <FafnirEngine as fafnir_core::GatherEngine>::Plan;
+
+    fn name(&self) -> &'static str {
+        "counting"
+    }
+
+    fn preprocess<S: fafnir_core::EmbeddingSource>(
+        &self,
+        batch: &fafnir_core::Batch,
+        source: &S,
+    ) -> Result<Vec<Self::Plan>, fafnir_core::FafnirError> {
+        self.lookups.set(self.lookups.get() + 1);
+        self.inner.preprocess(batch, source)
+    }
+
+    fn reduce<S: fafnir_core::EmbeddingSource>(
+        &self,
+        plan: &Self::Plan,
+        gathered: fafnir_core::GatherOutcome,
+        source: &S,
+    ) -> Result<fafnir_core::LookupResult, fafnir_core::FafnirError> {
+        self.inner.reduce(plan, gathered, source)
+    }
+}
+
+#[test]
+fn mean_finalizes_each_query_exactly_once_under_retries_and_hedges() {
+    use fafnir_core::{Batch, FafnirConfig, ReduceOp};
+
+    // A Mean-configured engine under a churn plan that forces retries and
+    // hedges. The root-side divide must count each query's vectors exactly
+    // once across attempts: the serving layer reduces once per formed batch
+    // and replays only the timing on retry/hedge attempts.
+    let mem = MemoryConfig::ddr4_2400_4ch();
+    let config_core = FafnirConfig { op: ReduceOp::Mean, ..FafnirConfig::paper_default() };
+    let inner = FafnirEngine::new(config_core, mem).expect("mean engine");
+    let engine = CountingEngine { inner: &inner, lookups: std::cell::Cell::new(0) };
+    let source = source();
+
+    let config = ServeConfig { workers: 2, queries: 400, ..two_worker_config() };
+    let resilience = ResilienceConfig {
+        faults: FaultPlan::crash_restart(2, 10_000.0, 5_000.0, 1e9, 3),
+        timeout_ns: Some(5e6),
+        retries: 4,
+        backoff_ns: 500.0,
+        hedge_ns: Some(50_000.0),
+    };
+    let mut traffic = zipf_traffic(21);
+    let outcome = simulate_resilient(&engine, &source, &mut traffic, &config, &resilience)
+        .expect("resilient mean run");
+
+    let total_attempts: u32 = outcome.batches.iter().map(|b| b.attempts).sum();
+    assert!(
+        total_attempts as usize > outcome.batches.len(),
+        "the churn plan must force extra attempts ({total_attempts} attempts over {} batches)",
+        outcome.batches.len()
+    );
+    assert_eq!(
+        engine.lookups.get(),
+        outcome.batches.len(),
+        "exactly one reduction (one Mean finalize) per formed batch, \
+         regardless of retries and hedges"
+    );
+
+    // Replay each formed batch's query shapes and pin the outputs the
+    // serving layer used to the software Mean reference: a double finalize
+    // (or a per-attempt re-count) would divide twice and miss this.
+    let mut replay = zipf_traffic(21);
+    let shapes: Vec<_> = (0..config.queries).map(|_| replay.query()).collect();
+    let operator = ReduceOp::Mean.operator();
+    for record in &outcome.batches {
+        let batch = Batch::from_index_sets(record.queries.iter().map(|&id| shapes[id].clone()));
+        let served = fafnir_core::GatherEngine::lookup(&inner, &batch, &source)
+            .expect("replay lookup")
+            .outputs;
+        let reference = fafnir_core::reference_lookup_with(&batch, &source, operator.as_ref());
+        assert_eq!(served.len(), reference.len());
+        for ((qa, got), (qb, want)) in served.iter().zip(&reference) {
+            assert_eq!(qa, qb);
+            for (x, y) in got.iter().zip(want) {
+                assert!((x - y).abs() <= 1e-3_f32.max(y.abs() * 1e-4), "{x} vs {y}");
+            }
+        }
+    }
+}

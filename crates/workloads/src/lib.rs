@@ -19,6 +19,9 @@
 //!   FC layers + other, Fig. 12);
 //! * [`trace`] — record/replay query traces so production traffic can be
 //!   plugged in;
+//! * [`similarity`] — query-vs-table scored lookup: two-stage candidate
+//!   shortlisting, exact top-k ground truth, and recall@k for the Top-K
+//!   near-memory re-ranking scenario;
 //! * [`tablewise`] — DLRM-style one-row-per-table query generation;
 //! * [`roofline`] — the memory-bound positioning argument of Sec. II;
 //! * [`dlrm`] — a parametric DLRM cost model deriving the paper's fixed FC
@@ -43,6 +46,7 @@ pub mod faults;
 pub mod query;
 pub mod recsys;
 pub mod roofline;
+pub mod similarity;
 pub mod stats;
 pub mod tablewise;
 pub mod trace;
@@ -54,6 +58,7 @@ pub use embedding::{EmbeddingTableSet, TablePlacement};
 pub use faults::{FaultPlan, WorkerFaults};
 pub use query::{BatchGenerator, Popularity};
 pub use recsys::{InferenceBreakdown, RecSysModel};
+pub use similarity::{recall_at_k, SimilarityWorkload};
 pub use tablewise::TablewiseGenerator;
 pub use trace::{QueryTrace, ReuseDistances, TraceReuse};
 pub use zipf::Zipf;

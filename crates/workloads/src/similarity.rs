@@ -1,0 +1,259 @@
+//! Similarity-search serving: query-vs-table scored lookup.
+//!
+//! The Top-K operator turns the reduction tree into a near-memory
+//! *re-ranker*: a query vector is scored (dot product) against a shortlist
+//! of candidate embeddings while they are gathered, and only the best `k`
+//! `(index, score)` pairs ever cross to the host. This module provides the
+//! workload side of that scenario:
+//!
+//! * deterministic per-query **query vectors** (seeded, like
+//!   [`EmbeddingTableSet`](crate::embedding::EmbeddingTableSet) values);
+//! * two-stage candidate selection: a cheap **proxy score** over the first
+//!   few dimensions picks a shortlist from the universe (standing in for an
+//!   ANN index), and the tree re-ranks the shortlist exactly;
+//! * the **exact top-k** over the whole universe as ground truth, plus
+//!   **recall@k** — the fraction of true top-k ids the shortlist pipeline
+//!   recovered.
+//!
+//! Because the shortlist of size `s` is the top-`s` by proxy score, a larger
+//! shortlist is always a superset of a smaller one, so recall@k is
+//! non-decreasing in shortlist size — the recall/latency trade-off the
+//! `topk` benchmark sweeps.
+
+use fafnir_core::{EmbeddingSource, IndexSet, VectorIndex};
+
+/// A deterministic similarity-search workload over an embedding source.
+///
+/// The candidate universe is the index range `0..universe` of `source`;
+/// query vectors are seeded and independent of the table values.
+#[derive(Debug, Clone)]
+pub struct SimilarityWorkload<'a, S: EmbeddingSource> {
+    source: &'a S,
+    universe: u32,
+    proxy_dims: usize,
+    seed: u64,
+}
+
+impl<'a, S: EmbeddingSource> SimilarityWorkload<'a, S> {
+    /// Creates a workload over `0..universe` of `source`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `universe` is zero.
+    #[must_use]
+    pub fn new(source: &'a S, universe: u32, seed: u64) -> Self {
+        assert!(universe > 0, "universe must be non-empty");
+        let proxy_dims = source.vector_dim().min(8);
+        Self { source, universe, proxy_dims, seed }
+    }
+
+    /// Sets how many leading dimensions the shortlist proxy score uses
+    /// (clamped to the vector dimension). More dimensions make the proxy
+    /// closer to the exact score, raising recall at fixed shortlist size.
+    #[must_use]
+    pub fn with_proxy_dims(mut self, proxy_dims: usize) -> Self {
+        assert!(proxy_dims > 0, "proxy_dims must be non-zero");
+        self.proxy_dims = proxy_dims.min(self.source.vector_dim());
+        self
+    }
+
+    /// Number of candidate vectors.
+    #[must_use]
+    pub fn universe(&self) -> u32 {
+        self.universe
+    }
+
+    /// The deterministic query vector of query `query` (splitmix-style,
+    /// seeded; values in `[-0.5, 0.5]`).
+    #[must_use]
+    pub fn query_vector(&self, query: u64) -> Vec<f32> {
+        let mut state =
+            (query + 1).wrapping_mul(0xD1B5_4A32_D192_ED03) ^ self.seed.wrapping_mul(0x9E37_79B9);
+        (0..self.source.vector_dim())
+            .map(|_| {
+                state ^= state >> 30;
+                state = state.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                state ^= state >> 27;
+                ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    /// Exact dot-product score of `query_vec` against candidate `index`.
+    #[must_use]
+    pub fn score(&self, query_vec: &[f32], index: VectorIndex) -> f32 {
+        dot(query_vec, &self.source.value_of(index))
+    }
+
+    /// The shortlist: top-`len` candidates by the proxy score (dot product
+    /// over the first `proxy_dims` dimensions), ties toward lower index.
+    /// This is the index set a serving batch submits to the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    #[must_use]
+    pub fn shortlist(&self, query_vec: &[f32], len: usize) -> IndexSet {
+        assert!(len > 0, "shortlist must be non-empty");
+        let mut scored: Vec<(f32, u32)> = (0..self.universe)
+            .map(|i| {
+                let value = self.source.value_of(VectorIndex(i));
+                (dot(&query_vec[..self.proxy_dims], &value[..self.proxy_dims]), i)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        scored.truncate(len.min(self.universe as usize));
+        IndexSet::from_iter_dedup(scored.into_iter().map(|(_, i)| VectorIndex(i)))
+    }
+
+    /// Ground truth: the exact top-`k` of the whole universe by dot-product
+    /// score, sorted by (score desc, index asc) — the same order
+    /// [`fafnir_core::TopKOperator`] reports.
+    #[must_use]
+    pub fn exact_top_k(&self, query_vec: &[f32], k: usize) -> Vec<(VectorIndex, f32)> {
+        let mut scored: Vec<(f32, u32)> = (0..self.universe)
+            .map(|i| (dot(query_vec, &self.source.value_of(VectorIndex(i))), i))
+            .collect();
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        scored.truncate(k);
+        scored.into_iter().map(|(score, i)| (VectorIndex(i), score)).collect()
+    }
+}
+
+/// recall@k: the fraction of `exact` ids present in `approx`. Returns 1.0
+/// for an empty ground truth.
+#[must_use]
+pub fn recall_at_k(approx: &[(VectorIndex, f32)], exact: &[(VectorIndex, f32)]) -> f64 {
+    if exact.is_empty() {
+        return 1.0;
+    }
+    let hits = exact.iter().filter(|(id, _)| approx.iter().any(|(a, _)| a == id)).count();
+    hits as f64 / exact.len() as f64
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embedding::EmbeddingTableSet;
+    use fafnir_core::{Batch, FafnirConfig, FafnirEngine, GatherEngine, ReduceOp, TopKOperator};
+    use fafnir_mem::MemoryConfig;
+
+    fn tables() -> EmbeddingTableSet {
+        EmbeddingTableSet::new(MemoryConfig::ddr4_2400_4ch().topology, 4, 1024, 32)
+    }
+
+    #[test]
+    fn query_vectors_are_deterministic_and_seed_sensitive() {
+        let tables = tables();
+        let workload = SimilarityWorkload::new(&tables, 4096, 11);
+        let v = workload.query_vector(3);
+        assert_eq!(v, workload.query_vector(3));
+        assert_eq!(v.len(), 32);
+        assert!(v.iter().all(|x| x.abs() <= 0.5));
+        assert_ne!(v, workload.query_vector(4));
+        let other = SimilarityWorkload::new(&tables, 4096, 12);
+        assert_ne!(v, other.query_vector(3));
+    }
+
+    #[test]
+    fn shortlists_nest_and_recall_is_monotone_in_shortlist_size() {
+        let tables = tables();
+        let workload = SimilarityWorkload::new(&tables, 2048, 7);
+        let query = workload.query_vector(0);
+        let exact = workload.exact_top_k(&query, 8);
+        let mut last_recall = 0.0;
+        let mut last_len = 0;
+        for len in [16, 64, 256, 2048] {
+            let shortlist = workload.shortlist(&query, len);
+            assert_eq!(shortlist.len(), len);
+            let mut reranked: Vec<(VectorIndex, f32)> =
+                shortlist.iter().map(|i| (i, workload.score(&query, i))).collect();
+            reranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.value().cmp(&b.0.value())));
+            reranked.truncate(8);
+            let recall = recall_at_k(&reranked, &exact);
+            assert!(
+                recall >= last_recall,
+                "recall must not drop as the shortlist grows ({last_len}→{len})"
+            );
+            last_recall = recall;
+            last_len = len;
+        }
+        assert_eq!(last_recall, 1.0, "the full-universe shortlist is the exact search");
+    }
+
+    #[test]
+    fn wider_proxy_raises_or_holds_recall() {
+        let tables = tables();
+        let query_seed = 5;
+        let narrow = SimilarityWorkload::new(&tables, 2048, query_seed).with_proxy_dims(2);
+        let wide = SimilarityWorkload::new(&tables, 2048, query_seed).with_proxy_dims(32);
+        let query = narrow.query_vector(1);
+        let exact = narrow.exact_top_k(&query, 4);
+        let rerank = |workload: &SimilarityWorkload<'_, EmbeddingTableSet>| {
+            let mut scored: Vec<(VectorIndex, f32)> = workload
+                .shortlist(&query, 64)
+                .iter()
+                .map(|i| (i, workload.score(&query, i)))
+                .collect();
+            scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.value().cmp(&b.0.value())));
+            scored.truncate(4);
+            recall_at_k(&scored, &exact)
+        };
+        assert!(rerank(&wide) >= rerank(&narrow));
+        // A proxy over every dimension IS the exact score, so the shortlist
+        // contains the true top-k and recall is perfect.
+        assert_eq!(rerank(&wide), 1.0);
+    }
+
+    #[test]
+    fn engine_topk_over_the_shortlist_matches_the_software_rerank() {
+        let mem = MemoryConfig::ddr4_2400_4ch();
+        let tables = EmbeddingTableSet::new(mem.topology, 4, 1024, 32);
+        let workload = SimilarityWorkload::new(&tables, 4096, 9);
+        let query = workload.query_vector(2);
+        let k = 4;
+
+        let config = FafnirConfig {
+            op: ReduceOp::TopK { k },
+            vector_dim: 32,
+            max_query_len: 64,
+            ..FafnirConfig::paper_default()
+        };
+        let operator = std::sync::Arc::new(TopKOperator::with_scoring(k, query.clone()));
+        let engine =
+            FafnirEngine::new(config, mem).expect("engine").with_operator(operator.clone());
+
+        let shortlist = workload.shortlist(&query, 64);
+        let batch = Batch::from_index_sets([shortlist.clone()]);
+        let result = engine.lookup(&batch, &tables).expect("topk lookup");
+        let reported = TopKOperator::decode(&result.outputs[0].1);
+
+        let mut expected: Vec<(VectorIndex, f32)> =
+            shortlist.iter().map(|i| (i, workload.score(&query, i))).collect();
+        expected.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.value().cmp(&b.0.value())));
+        expected.truncate(k);
+        assert_eq!(
+            reported.iter().map(|(i, _)| *i).collect::<Vec<_>>(),
+            expected.iter().map(|(i, _)| *i).collect::<Vec<_>>()
+        );
+        for ((_, got), (_, want)) in reported.iter().zip(&expected) {
+            assert!((got - want).abs() <= 1e-3_f32.max(want.abs() * 1e-4), "{got} vs {want}");
+        }
+        let recall = recall_at_k(&reported, &workload.exact_top_k(&query, k));
+        assert!((0.0..=1.0).contains(&recall));
+    }
+
+    #[test]
+    fn recall_handles_edges() {
+        assert_eq!(recall_at_k(&[], &[]), 1.0);
+        let a = [(VectorIndex(1), 1.0)];
+        let b = [(VectorIndex(2), 0.5)];
+        assert_eq!(recall_at_k(&a, &b), 0.0);
+        assert_eq!(recall_at_k(&a, &a), 1.0);
+    }
+}

@@ -49,6 +49,12 @@ bench-serving *ARGS:
 bench-resilience *ARGS:
     cargo bench -p fafnir-bench --bench fault_resilience -- {{ARGS}}
 
+# Regenerate the Top-K similarity measurement (BENCH_topk.json): recall@k and
+# batch latency vs k for near-memory re-ranking over a proxy shortlist. Same
+# guard: `just bench-topk --force` accepts a regression.
+bench-topk *ARGS:
+    cargo bench -p fafnir-bench --bench topk -- {{ARGS}}
+
 # A quick look at the resilience layer: a straggler replica with hedging.
 serve-faults-demo:
     cargo run --release -p fafnir-cli -- serve --rate 2e6 --policy deadline \
