@@ -17,13 +17,13 @@ use std::time::Instant;
 
 use fafnir_bench::{banner, paper_memory, paper_traffic, print_table};
 use fafnir_core::{FafnirEngine, StripedSource};
-use fafnir_serve::{simulate, BatchPolicy, ServeConfig, ServeReport};
+use fafnir_serve::{run_scenarios, BatchPolicy, Scenario, ServeConfig, ServeReport};
 use fafnir_workloads::arrival::ArrivalProcess;
 
 const RATE_QPS: f64 = 2e6;
 const QUERIES: usize = 512;
 const WINDOWS_NS: [f64; 3] = [1_000.0, 4_000.0, 16_000.0];
-const REGRESSION_TOLERANCE: f64 = 0.9;
+const REGRESSION_TOLERANCE: f64 = 0.8;
 
 /// Pulls the number following `"key": ` out of a previous JSON report.
 fn extract_number(json: &str, key: &str) -> Option<f64> {
@@ -35,7 +35,15 @@ fn extract_number(json: &str, key: &str) -> Option<f64> {
 }
 
 fn main() {
-    let force = std::env::args().any(|arg| arg == "--force");
+    let args: Vec<String> = std::env::args().collect();
+    let force = args.iter().any(|arg| arg == "--force");
+    let scenario_threads: usize = args
+        .iter()
+        .position(|arg| arg == "--scenario-threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|raw| raw.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1);
     banner(
         "Serving — deadline batching vs DRAM reads per query",
         "longer batching windows buy Fig. 3 dedup savings with queue latency",
@@ -45,20 +53,29 @@ fn main() {
     let engine = FafnirEngine::paper_default(mem).expect("paper defaults");
     let source = StripedSource::new(mem.topology, 128);
 
+    // One scenario per window, all through the deterministic runner: the
+    // per-window reports are byte-identical for every --scenario-threads N.
+    let scenarios: Vec<Scenario> = WINDOWS_NS
+        .iter()
+        .map(|&max_wait_ns| {
+            let config = ServeConfig {
+                arrivals: ArrivalProcess::Poisson { rate_qps: RATE_QPS },
+                policy: BatchPolicy::Deadline { max_wait_ns, max_batch: 32 },
+                queries: QUERIES,
+                ..ServeConfig::default()
+            };
+            Scenario::new(format!("{max_wait_ns:.0} ns window"), config, paper_traffic(7))
+        })
+        .collect();
+    let configs: Vec<ServeConfig> = scenarios.iter().map(|s| s.config).collect();
+    let start = Instant::now();
+    let results = run_scenarios(&engine, &source, scenarios, scenario_threads);
+    let wall_s = start.elapsed().as_secs_f64();
+
     let mut rows = Vec::new();
     let mut reports = Vec::new();
-    let mut wall_s = 0.0;
-    for max_wait_ns in WINDOWS_NS {
-        let config = ServeConfig {
-            arrivals: ArrivalProcess::Poisson { rate_qps: RATE_QPS },
-            policy: BatchPolicy::Deadline { max_wait_ns, max_batch: 32 },
-            queries: QUERIES,
-            ..ServeConfig::default()
-        };
-        let mut traffic = paper_traffic(7);
-        let start = Instant::now();
-        let outcome = simulate(&engine, &source, &mut traffic, &config).expect("serving run");
-        wall_s += start.elapsed().as_secs_f64();
+    for ((result, config), max_wait_ns) in results.into_iter().zip(configs).zip(WINDOWS_NS) {
+        let outcome = result.outcome.expect("serving run");
         let report = ServeReport::new(&config, &outcome);
         rows.push(vec![
             format!("{:.0} us", max_wait_ns / 1e3),

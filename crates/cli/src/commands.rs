@@ -57,6 +57,8 @@ pub fn usage() -> String {
                 --faults none|outage|slow:MULT:N|crash:MTTF:MTTR (none)\n\
                 --timeout-ns T (off) --retries R (0) --backoff-ns B (1000)\n\
                 --hedge-ns H (off)\n\
+                --sweep-windows W1,W2,... (run one deadline-policy scenario\n\
+                per window) --scenario-threads N (1, sweep parallelism)\n\
        spmv     run y = A·x on FAFNIR and the Two-Step baseline\n\
                 --gen uniform|rmat|banded|spd (rmat) --rows N (4096)\n\
                 --density D (0.01, uniform) --nnz N (rows*8, rmat)\n\
@@ -190,7 +192,8 @@ fn lookup(args: &ParsedArgs) -> Result<String, ArgError> {
 
 fn serve(args: &ParsedArgs) -> Result<String, ArgError> {
     use fafnir_serve::{
-        simulate_resilient, BatchPolicy, ResilienceConfig, ServeConfig, ServeReport, ShedPolicy,
+        run_scenarios, BatchPolicy, ResilienceConfig, Scenario, ServeConfig, ServeReport,
+        ShedPolicy,
     };
     use fafnir_workloads::arrival::ArrivalProcess;
 
@@ -272,15 +275,60 @@ fn serve(args: &ParsedArgs) -> Result<String, ArgError> {
     let source = StripedSource::new(mem.topology, 128);
     let popularity =
         if skew == 0.0 { Popularity::Uniform } else { Popularity::Zipf { exponent: skew } };
-    let mut traffic = BatchGenerator::new(popularity, universe, query_len, seed);
+    let traffic = || BatchGenerator::new(popularity, universe, query_len, seed);
 
-    let outcome = simulate_resilient(&engine, &source, &mut traffic, &config, &resilience)
-        .map_err(|e| ArgError(e.to_string()))?;
-    let report = ServeReport::with_resilience(&config, &resilience, &outcome);
+    let scenario_threads: usize = args.number_or("scenario-threads", 1)?;
+    if scenario_threads == 0 {
+        return Err(ArgError("--scenario-threads must be at least 1".into()));
+    }
+    // A sweep fans one scenario per batching window out over the runner;
+    // without one the single scenario takes the same path with one thread's
+    // worth of work, so the report stays byte-identical to a direct
+    // `simulate_resilient` call.
+    let scenarios = match args.get("sweep-windows") {
+        None => vec![Scenario::new("serve", config, traffic()).with_resilience(resilience.clone())],
+        Some(spec) => spec
+            .split(',')
+            .map(|raw| {
+                let window: f64 = raw.trim().parse().map_err(|_| {
+                    ArgError(format!("--sweep-windows: `{raw}` is not a valid window in ns"))
+                })?;
+                let config = ServeConfig {
+                    policy: BatchPolicy::Deadline { max_wait_ns: window, max_batch: batch },
+                    ..config
+                };
+                Ok(Scenario::new(format!("window {window} ns"), config, traffic())
+                    .with_resilience(resilience.clone()))
+            })
+            .collect::<Result<Vec<_>, ArgError>>()?,
+    };
+    let configs: Vec<ServeConfig> = scenarios.iter().map(|s| s.config).collect();
+    let results = run_scenarios(&engine, &source, scenarios, scenario_threads);
+
+    let mut reports = Vec::with_capacity(results.len());
+    for (result, config) in results.into_iter().zip(configs) {
+        let outcome = result.outcome.map_err(|e| ArgError(e.to_string()))?;
+        reports.push((result.label, ServeReport::with_resilience(&config, &resilience, &outcome)));
+    }
+    if reports.len() == 1 {
+        let (_, report) = &reports[0];
+        return Ok(if args.switch("json") { report.to_json() } else { report.render_table() });
+    }
     if args.switch("json") {
-        Ok(report.to_json())
+        let rows: Vec<String> = reports
+            .iter()
+            .map(|(label, report)| {
+                format!("{{\"label\":\"{label}\",\"report\":{}}}", report.to_json())
+            })
+            .collect();
+        Ok(format!("{{\"scenarios\":[{}]}}", rows.join(",")))
     } else {
-        Ok(report.render_table())
+        let mut out = String::new();
+        for (label, report) in &reports {
+            out.push_str(&format!("== {label} ==\n"));
+            out.push_str(&report.render_table());
+        }
+        Ok(out)
     }
 }
 

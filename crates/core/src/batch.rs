@@ -134,23 +134,22 @@ impl Batch {
     /// query's other indices.
     #[must_use]
     pub fn leaf_headers(&self) -> Vec<(VectorIndex, Vec<PendingQuery>)> {
-        self.unique_indices()
-            .iter()
-            .map(|index| {
-                let pending = self
-                    .queries
-                    .iter()
-                    .filter(|query| query.indices.contains(index))
-                    .map(|query| {
-                        PendingQuery::new(
-                            query.id,
-                            query.indices.difference(&IndexSet::singleton(index)),
-                        )
-                    })
-                    .collect();
-                (index, pending)
-            })
-            .collect()
+        let unique = self.unique_indices();
+        let mut headers: Vec<(VectorIndex, Vec<PendingQuery>)> =
+            unique.iter().map(|index| (index, Vec::new())).collect();
+        // One pass over the references: each (query, index) lands in the
+        // index's slot with queries in batch order, exactly as a per-index
+        // filter over the query list would produce.
+        for query in &self.queries {
+            for index in query.indices.iter() {
+                let pos = unique.as_slice().binary_search(&index).expect("reference in unique set");
+                headers[pos].1.push(PendingQuery::new(
+                    query.id,
+                    query.indices.difference(&IndexSet::singleton(index)),
+                ));
+            }
+        }
+        headers
     }
 
     /// Splits the batch into hardware-sized sub-batches of at most

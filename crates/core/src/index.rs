@@ -56,10 +56,10 @@ impl std::fmt::Display for QueryId {
 
 /// Indices a set can hold without a heap allocation.
 ///
-/// Sized for the paper's workloads: a query holds at most ~16 indices and
-/// most in-flight headers carry far fewer, so the bulk of header traffic
-/// through the tree never allocates.
-const INLINE_CAP: usize = 8;
+/// Sized for the paper's workloads: a query holds at most ~16 indices, so
+/// header traffic through the tree — indices sets, remaining sets, and
+/// their unions and differences — never allocates.
+const INLINE_CAP: usize = 16;
 
 /// Storage of an [`IndexSet`]: a fixed in-struct buffer for the common small
 /// sets, a heap vector beyond [`INLINE_CAP`]. Both variants keep the
@@ -113,7 +113,7 @@ impl SetBuilder {
 ///
 /// Headers are small (a query holds at most ~16 indices), so a sorted
 /// sequence beats hash sets and mirrors the fixed-width bit fields of the
-/// hardware. Sets of up to `INLINE_CAP` (8) indices are stored inline — no
+/// hardware. Sets of up to `INLINE_CAP` (16) indices are stored inline — no
 /// heap allocation — which covers the overwhelming majority of headers the
 /// tree moves; larger sets spill to a heap vector transparently. Two sets
 /// with the same contents are equal and hash identically regardless of
@@ -424,13 +424,14 @@ mod tests {
 
     #[test]
     fn inline_and_heap_representations_are_interchangeable() {
-        // Nine elements spill to the heap; dropping one brings the result
-        // back inline. Logical equality and hashing must not see the move.
-        let big = IndexSet::from_iter_dedup((0..9).map(VectorIndex));
-        assert_eq!(big.len(), 9);
-        let trimmed = big.difference(&indexset![8]);
-        assert_eq!(trimmed, IndexSet::from_iter_dedup((0..8).map(VectorIndex)));
-        let rejoined = trimmed.union(&indexset![8]);
+        // Seventeen elements spill to the heap; dropping one brings the
+        // result back inline. Logical equality and hashing must not see the
+        // move.
+        let big = IndexSet::from_iter_dedup((0..17).map(VectorIndex));
+        assert_eq!(big.len(), 17);
+        let trimmed = big.difference(&indexset![16]);
+        assert_eq!(trimmed, IndexSet::from_iter_dedup((0..16).map(VectorIndex)));
+        let rejoined = trimmed.union(&indexset![16]);
         assert_eq!(rejoined, big);
         use std::collections::hash_map::DefaultHasher;
         use std::hash::{Hash, Hasher};
@@ -445,15 +446,15 @@ mod tests {
     #[test]
     fn small_sets_do_not_allocate() {
         // Unions and differences that fit in the inline buffer stay inline.
-        let a = IndexSet::from_iter_dedup((0..4).map(VectorIndex));
-        let b = IndexSet::from_iter_dedup((4..8).map(VectorIndex));
+        let a = IndexSet::from_iter_dedup((0..8).map(VectorIndex));
+        let b = IndexSet::from_iter_dedup((8..16).map(VectorIndex));
         let u = a.union(&b);
         assert!(matches!(u.0, Repr::Inline { .. }));
         assert!(matches!(a.difference(&b).0, Repr::Inline { .. }));
         // One past the inline capacity spills.
         let spilled = u.union(&indexset![100]);
         assert!(matches!(spilled.0, Repr::Heap(_)));
-        assert_eq!(spilled.len(), 9);
+        assert_eq!(spilled.len(), 17);
     }
 
     #[test]

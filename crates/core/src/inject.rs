@@ -74,15 +74,17 @@ pub fn build_rank_inputs_with(
 ) -> Vec<Vec<Item>> {
     let span = (ranks_per_leaf / 2).max(1);
     let mut inputs: Vec<Vec<Item>> = vec![Vec::new(); tree_ranks];
-    let lookup = |index: VectorIndex| -> Option<&GatheredVector> {
-        gathered.iter().find(|g| g.index == index)
-    };
+    // First occurrence wins, matching a front-to-back scan of `gathered`.
+    let by_index: std::collections::HashMap<VectorIndex, &GatheredVector> =
+        gathered.iter().rev().map(|g| (g.index, g)).collect();
+    let lookup = |index: VectorIndex| -> Option<&GatheredVector> { by_index.get(&index).copied() };
 
     // Queries' operands grouped by leaf-input side: side id = rank / span.
     // For each query, sides with ≥2 operands get a dedicated pre-reduced
     // item; the (query, index) pairs covered that way are excluded from the
     // shared items.
-    let mut covered: Vec<(crate::index::QueryId, VectorIndex)> = Vec::new();
+    let mut covered: std::collections::HashSet<(crate::index::QueryId, VectorIndex)> =
+        std::collections::HashSet::new();
     for query in batch.queries() {
         let mut by_side: std::collections::BTreeMap<usize, Vec<&GatheredVector>> =
             std::collections::BTreeMap::new();

@@ -96,29 +96,150 @@ impl ProcessingElement {
     ) -> (Vec<Item>, PeOpCounts) {
         let mut counts =
             PeOpCounts { max_input_items: a.len().max(b.len()) as u64, ..PeOpCounts::default() };
-        let mut raw: Vec<Item> = Vec::new();
-        self.scan_side(operator, a, b, &mut raw, &mut counts);
-        self.scan_side(operator, b, a, &mut raw, &mut counts);
+        let mut raw: Vec<RawOutput> = Vec::new();
+        self.scan_side(a, b, 0, a.len(), &mut raw, &mut counts);
+        self.scan_side(b, a, a.len(), 0, &mut raw, &mut counts);
         counts.raw_outputs = raw.len() as u64;
         let merged = self.merge_unit(raw, &mut counts);
         counts.outputs = merged.len() as u64;
-        (merged, counts)
+        let outputs = self.materialize_ref(operator, merged, a, b);
+        (outputs, counts)
+    }
+
+    /// Owned-input variant of [`ProcessingElement::process_with`]: consumes
+    /// both input streams and *moves* each accumulator into its last
+    /// surviving output instead of cloning it. Bit-identical to the
+    /// borrowing path (the same combines run on the same operands in the
+    /// same order); the tree uses this since items climb levels by value.
+    #[must_use]
+    pub fn process_owned(
+        &self,
+        operator: &dyn ReduceOperator,
+        a: Vec<Item>,
+        b: Vec<Item>,
+    ) -> (Vec<Item>, PeOpCounts) {
+        let mut counts =
+            PeOpCounts { max_input_items: a.len().max(b.len()) as u64, ..PeOpCounts::default() };
+        let split = a.len();
+        // Both sides in one buffer so disjoint mutable access by input index
+        // (for buffer stealing) is a `split_at_mut` away.
+        let mut inputs = a;
+        inputs.extend(b);
+        let mut raw: Vec<RawOutput> = Vec::new();
+        {
+            let (a, b) = inputs.split_at(split);
+            self.scan_side(a, b, 0, split, &mut raw, &mut counts);
+            self.scan_side(b, a, split, 0, &mut raw, &mut counts);
+        }
+        counts.raw_outputs = raw.len() as u64;
+        let merged = self.merge_unit(raw, &mut counts);
+        counts.outputs = merged.len() as u64;
+        // Per-input remaining-use counts over the *surviving* outputs: once
+        // an input's count hits zero its buffer is free to be moved out.
+        let mut uses = vec![0u32; inputs.len()];
+        for out in &merged {
+            match out.source {
+                RawSource::Reduce { x, y } => {
+                    uses[x] += 1;
+                    uses[y] += 1;
+                }
+                RawSource::Forward { x } => uses[x] += 1,
+            }
+        }
+        let outputs = self.materialize_owned(operator, merged, &mut inputs, &mut uses);
+        (outputs, counts)
     }
 
     /// One direction of the compute-unit array: each item of `from` is
     /// compared, per pending-query entry, against all items of `against`.
+    ///
+    /// Outputs are *planned*, not built: headers and timestamps are final,
+    /// but accumulators are deferred to [`ProcessingElement::materialize`]
+    /// so that duplicates dropped by the merge unit never pay a combine.
+    /// `from_base`/`against_base` map slice positions to the shared input
+    /// index space (side A first, then side B).
     fn scan_side(
         &self,
-        operator: &dyn ReduceOperator,
         from: &[Item],
         against: &[Item],
-        raw: &mut Vec<Item>,
+        from_base: usize,
+        against_base: usize,
+        raw: &mut Vec<RawOutput>,
         counts: &mut PeOpCounts,
     ) {
-        for item in from {
+        // Small partner sides: the direct quadratic scan beats building an
+        // index (outcome and counters are identical either way).
+        if against.len() <= 8 {
+            self.scan_side_direct(from, against, from_base, against_base, raw, counts);
+            return;
+        }
+        // Query index over the `against` side: (query, position) sorted by
+        // query, positions ascending. Partners without a given query can
+        // never match it, so the hardware scan's outcome is decided entirely
+        // by this candidate list — visiting candidates in position order is
+        // equivalent to the full front-to-back partner scan.
+        let mut candidates: Vec<(crate::index::QueryId, u32)> = against
+            .iter()
+            .enumerate()
+            .flat_map(|(pos, partner)| {
+                partner.header.queries.iter().map(move |p| (p.query, pos as u32))
+            })
+            .collect();
+        candidates.sort_unstable();
+        for (from_pos, item) in from.iter().enumerate() {
+            for pending in &item.header.queries {
+                let lo = candidates.partition_point(|&(q, _)| q < pending.query);
+                let mut matched = false;
+                for &(query, against_pos) in &candidates[lo..] {
+                    if query != pending.query {
+                        break;
+                    }
+                    let partner = &against[against_pos as usize];
+                    let partner_pending =
+                        partner.header.pending_for(pending.query).expect("indexed above");
+                    // Paper's rule: the partner's remaining set must contain
+                    // everything this item has already reduced.
+                    if item.header.indices.is_subset_of(&partner_pending.remaining) {
+                        // The modeled comparator scan walks partners
+                        // front-to-back and stops here: one compare per
+                        // partner up to and including the match.
+                        counts.compares += u64::from(against_pos) + 1;
+                        raw.push(self.plan_reduce(
+                            item,
+                            partner,
+                            pending.query,
+                            from_base + from_pos,
+                            against_base + against_pos as usize,
+                        ));
+                        counts.reduces += 1;
+                        matched = true;
+                        break;
+                    }
+                }
+                if !matched {
+                    // No match: the modeled scan visits every partner.
+                    counts.compares += against.len() as u64;
+                    raw.push(self.plan_forward(item, pending, from_base + from_pos));
+                    counts.forwards += 1;
+                }
+            }
+        }
+    }
+
+    /// The literal front-to-back partner scan, used for small sides.
+    fn scan_side_direct(
+        &self,
+        from: &[Item],
+        against: &[Item],
+        from_base: usize,
+        against_base: usize,
+        raw: &mut Vec<RawOutput>,
+        counts: &mut PeOpCounts,
+    ) {
+        for (from_pos, item) in from.iter().enumerate() {
             for pending in &item.header.queries {
                 let mut matched = false;
-                for partner in against {
+                for (against_pos, partner) in against.iter().enumerate() {
                     counts.compares += 1;
                     let Some(partner_pending) = partner.header.pending_for(pending.query) else {
                         continue;
@@ -126,47 +247,52 @@ impl ProcessingElement {
                     // Paper's rule: the partner's remaining set must contain
                     // everything this item has already reduced.
                     if item.header.indices.is_subset_of(&partner_pending.remaining) {
-                        raw.push(self.reduce_items(operator, item, partner, pending.query));
+                        raw.push(self.plan_reduce(
+                            item,
+                            partner,
+                            pending.query,
+                            from_base + from_pos,
+                            against_base + against_pos,
+                        ));
                         counts.reduces += 1;
                         matched = true;
                         break;
                     }
                 }
                 if !matched {
-                    raw.push(self.forward_item(item, pending));
+                    raw.push(self.plan_forward(item, pending, from_base + from_pos));
                     counts.forwards += 1;
                 }
             }
         }
     }
 
-    /// Combines two items for one query.
-    fn reduce_items(
+    /// Plans the combination of two items for one query.
+    fn plan_reduce(
         &self,
-        operator: &dyn ReduceOperator,
         x: &Item,
         y: &Item,
         query: crate::index::QueryId,
-    ) -> Item {
+        x_index: usize,
+        y_index: usize,
+    ) -> RawOutput {
         let indices = x.header.indices.union(&y.header.indices);
         let x_pending = x.header.pending_for(query).expect("caller checked");
         let remaining = x_pending.remaining.difference(&y.header.indices);
         debug_assert!(remaining.is_disjoint_from(&indices));
-        let mut value = x.value.clone();
-        operator.combine_into(&mut value, &y.value);
         let ready = x.ready_ns.max(y.ready_ns) + self.timing.reduce_latency_ns();
-        Item {
+        RawOutput {
             header: Arc::new(Header {
                 indices,
                 queries: vec![PendingQuery::new(query, remaining)],
             }),
-            value,
             ready_ns: ready,
+            source: RawSource::Reduce { x: x_index, y: y_index },
         }
     }
 
-    /// Passes an item through for one unmatched query entry.
-    fn forward_item(&self, item: &Item, pending: &PendingQuery) -> Item {
+    /// Plans an item passing through for one unmatched query entry.
+    fn plan_forward(&self, item: &Item, pending: &PendingQuery, x_index: usize) -> RawOutput {
         // Forwarding an item whose header already is exactly this one entry
         // (the common case above the leaf level) shares the header instead
         // of rebuilding it.
@@ -178,27 +304,27 @@ impl ProcessingElement {
                 queries: vec![pending.clone()],
             })
         };
-        Item {
+        RawOutput {
             header,
-            value: item.value.clone(),
             ready_ns: item.ready_ns + self.timing.forward_latency_ns(),
+            source: RawSource::Forward { x: x_index },
         }
     }
 
     /// The merge unit: deduplicates identical raw outputs and concatenates
     /// the queries fields of outputs carrying the same value (same indices
-    /// set).
-    fn merge_unit(&self, raw: Vec<Item>, counts: &mut PeOpCounts) -> Vec<Item> {
-        let mut merged: Vec<Item> = Vec::new();
+    /// set). The first raw output of a group survives; its deferred source
+    /// is the one materialized, so the surviving operand order — and hence
+    /// the output bit pattern — matches the eager path exactly. (The exact
+    /// operand-order laws the duplicates rely on are pinned by the
+    /// commutativity proptests in [`crate::reduce`].)
+    fn merge_unit(&self, raw: Vec<RawOutput>, counts: &mut PeOpCounts) -> Vec<RawOutput> {
+        let mut merged: Vec<RawOutput> = Vec::new();
         for item in raw {
             if let Some(existing) =
                 merged.iter_mut().find(|m| m.header.indices == item.header.indices)
             {
                 counts.merges += 1;
-                debug_assert!(
-                    values_equal(&existing.value, &item.value),
-                    "merge unit saw differing values for identical indices"
-                );
                 existing.ready_ns = existing.ready_ns.max(item.ready_ns);
                 let queries = match Arc::try_unwrap(item.header) {
                     Ok(header) => header.queries,
@@ -219,18 +345,109 @@ impl ProcessingElement {
                 merged.push(item);
             }
         }
-        let merge_ns = self.timing.merge_cycles as f64 * self.timing.cycle_ns();
-        for item in &mut merged {
-            item.ready_ns += merge_ns;
-        }
         merged
+    }
+
+    /// Builds the final items for the merge survivors over borrowed inputs,
+    /// running one combine per surviving reduce (duplicates dropped by the
+    /// merge unit never pay one). Every accumulator is cloned from its `x`
+    /// operand — bit-identical to the owned path, which merely elides the
+    /// clone when it can move the buffer instead.
+    fn materialize_ref(
+        &self,
+        operator: &dyn ReduceOperator,
+        merged: Vec<RawOutput>,
+        a: &[Item],
+        b: &[Item],
+    ) -> Vec<Item> {
+        let value_of = |index: usize| {
+            if index < a.len() {
+                &a[index].value
+            } else {
+                &b[index - a.len()].value
+            }
+        };
+        let merge_ns = self.timing.merge_cycles as f64 * self.timing.cycle_ns();
+        merged
+            .into_iter()
+            .map(|out| {
+                let value = match out.source {
+                    RawSource::Reduce { x, y } => {
+                        let mut acc = value_of(x).clone();
+                        operator.combine_into(&mut acc, value_of(y));
+                        acc
+                    }
+                    RawSource::Forward { x } => value_of(x).clone(),
+                };
+                Item { header: out.header, value, ready_ns: out.ready_ns + merge_ns }
+            })
+            .collect()
+    }
+
+    /// Owned-input materialization: an input buffer whose last remaining use
+    /// this is is *moved* out instead of cloned, so the common
+    /// symmetric-pair reduction (one surviving reduce per input pair) is
+    /// allocation-free.
+    fn materialize_owned(
+        &self,
+        operator: &dyn ReduceOperator,
+        merged: Vec<RawOutput>,
+        inputs: &mut [Item],
+        uses: &mut [u32],
+    ) -> Vec<Item> {
+        // Clones `index`'s accumulator — or moves it out on its last
+        // remaining use (`uses` proves no later output reads it again).
+        fn claim(item: &mut Item, uses: &mut [u32], index: usize) -> Vec<f32> {
+            uses[index] -= 1;
+            if uses[index] == 0 {
+                std::mem::take(&mut item.value)
+            } else {
+                item.value.clone()
+            }
+        }
+        let merge_ns = self.timing.merge_cycles as f64 * self.timing.cycle_ns();
+        merged
+            .into_iter()
+            .map(|out| {
+                let value = match out.source {
+                    RawSource::Reduce { x, y } => {
+                        // x and y come from opposite sides, so they are
+                        // always distinct indices.
+                        let (x_item, y_item) = if x < y {
+                            let (lo, hi) = inputs.split_at_mut(y);
+                            (&mut lo[x], &hi[0])
+                        } else {
+                            let (lo, hi) = inputs.split_at_mut(x);
+                            (&mut hi[0], &lo[y])
+                        };
+                        let mut acc = claim(x_item, uses, x);
+                        operator.combine_into(&mut acc, &y_item.value);
+                        uses[y] -= 1;
+                        acc
+                    }
+                    RawSource::Forward { x } => claim(&mut inputs[x], uses, x),
+                };
+                Item { header: out.header, value, ready_ns: out.ready_ns + merge_ns }
+            })
+            .collect()
     }
 }
 
-/// Bitwise equality with NaN tolerance, for merge-unit assertions.
-fn values_equal(a: &[f32], b: &[f32]) -> bool {
-    a.len() == b.len()
-        && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= f32::EPSILON * x.abs().max(1.0) * 16.0)
+/// A planned PE output: final header and timestamp, deferred accumulator.
+struct RawOutput {
+    header: Arc<Header>,
+    ready_ns: f64,
+    source: RawSource,
+}
+
+/// Which input accumulators produce a raw output's value. Indices address
+/// the concatenated input space: side A items first, then side B.
+#[derive(Clone, Copy)]
+enum RawSource {
+    /// `acc = value[x]; combine_into(acc, value[y])`.
+    Reduce { x: usize, y: usize },
+    /// Pass `value[x]` through.
+    Forward { x: usize },
 }
 
 #[cfg(test)]

@@ -72,6 +72,76 @@ pub fn add_assign_scalar(a: &mut [f32], b: &[f32]) {
     }
 }
 
+/// Element-wise `max` with the same four-lane shape as
+/// [`add_assign_unrolled`]; element results are independent, so this is
+/// bit-identical to [`max_assign_scalar`] (including NaN propagation, which
+/// follows [`f32::max`] in both).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn max_assign_unrolled(a: &mut [f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len(), "reduction operands must have equal dimension");
+    let main = a.len() / 4 * 4;
+    let (a_main, a_tail) = a.split_at_mut(main);
+    let (b_main, b_tail) = b.split_at(main);
+    for (x, y) in a_main.chunks_exact_mut(4).zip(b_main.chunks_exact(4)) {
+        x[0] = x[0].max(y[0]);
+        x[1] = x[1].max(y[1]);
+        x[2] = x[2].max(y[2]);
+        x[3] = x[3].max(y[3]);
+    }
+    for (x, y) in a_tail.iter_mut().zip(b_tail) {
+        *x = x.max(*y);
+    }
+}
+
+/// Scalar reference for [`max_assign_unrolled`], kept for parity tests.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn max_assign_scalar(a: &mut [f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len(), "reduction operands must have equal dimension");
+    for (x, y) in a.iter_mut().zip(b) {
+        *x = x.max(*y);
+    }
+}
+
+/// Element-wise `min` twin of [`max_assign_unrolled`], bit-identical to
+/// [`min_assign_scalar`].
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn min_assign_unrolled(a: &mut [f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len(), "reduction operands must have equal dimension");
+    let main = a.len() / 4 * 4;
+    let (a_main, a_tail) = a.split_at_mut(main);
+    let (b_main, b_tail) = b.split_at(main);
+    for (x, y) in a_main.chunks_exact_mut(4).zip(b_main.chunks_exact(4)) {
+        x[0] = x[0].min(y[0]);
+        x[1] = x[1].min(y[1]);
+        x[2] = x[2].min(y[2]);
+        x[3] = x[3].min(y[3]);
+    }
+    for (x, y) in a_tail.iter_mut().zip(b_tail) {
+        *x = x.min(*y);
+    }
+}
+
+/// Scalar reference for [`min_assign_unrolled`], kept for parity tests.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn min_assign_scalar(a: &mut [f32], b: &[f32]) {
+    assert_eq!(a.len(), b.len(), "reduction operands must have equal dimension");
+    for (x, y) in a.iter_mut().zip(b) {
+        *x = x.min(*y);
+    }
+}
+
 /// A stateful tree-reduction operator over flat `f32` accumulators.
 ///
 /// The tree is agnostic to what an accumulator *means*: it moves them as
@@ -190,10 +260,7 @@ impl ReduceOperator for MaxOperator {
     }
 
     fn combine_into(&self, acc: &mut [f32], other: &[f32]) {
-        assert_eq!(acc.len(), other.len(), "reduction operands must have equal dimension");
-        for (x, y) in acc.iter_mut().zip(other) {
-            *x = x.max(*y);
-        }
+        max_assign_unrolled(acc, other);
     }
 }
 
@@ -207,10 +274,7 @@ impl ReduceOperator for MinOperator {
     }
 
     fn combine_into(&self, acc: &mut [f32], other: &[f32]) {
-        assert_eq!(acc.len(), other.len(), "reduction operands must have equal dimension");
-        for (x, y) in acc.iter_mut().zip(other) {
-            *x = x.min(*y);
-        }
+        min_assign_unrolled(acc, other);
     }
 }
 
@@ -244,12 +308,33 @@ impl ReduceOperator for ArgMaxOperator {
         let dim = acc.len() / 2;
         let (values, indices) = acc.split_at_mut(dim);
         let (other_values, other_indices) = other.split_at(dim);
-        for j in 0..dim {
-            let take_other = other_values[j] > values[j]
-                || (other_values[j] == values[j] && other_indices[j] < indices[j]);
-            if take_other {
-                values[j] = other_values[j];
-                indices[j] = other_indices[j];
+        // Four independent lanes of compare + select per iteration, same
+        // shape as [`add_assign_unrolled`]; the select is branchless so the
+        // lanes vectorize, and lane results are independent, so this is
+        // bit-identical to the scalar tail loop below.
+        let main = dim / 4 * 4;
+        let (v_main, v_tail) = values.split_at_mut(main);
+        let (i_main, i_tail) = indices.split_at_mut(main);
+        let (ov_main, ov_tail) = other_values.split_at(main);
+        let (oi_main, oi_tail) = other_indices.split_at(main);
+        for (((v, i), ov), oi) in v_main
+            .chunks_exact_mut(4)
+            .zip(i_main.chunks_exact_mut(4))
+            .zip(ov_main.chunks_exact(4))
+            .zip(oi_main.chunks_exact(4))
+        {
+            for lane in 0..4 {
+                let take = ov[lane] > v[lane] || (ov[lane] == v[lane] && oi[lane] < i[lane]);
+                v[lane] = if take { ov[lane] } else { v[lane] };
+                i[lane] = if take { oi[lane] } else { i[lane] };
+            }
+        }
+        for (((v, i), ov), oi) in v_tail.iter_mut().zip(i_tail.iter_mut()).zip(ov_tail).zip(oi_tail)
+        {
+            let take = *ov > *v || (*ov == *v && *oi < *i);
+            if take {
+                *v = *ov;
+                *i = *oi;
             }
         }
     }
@@ -326,6 +411,10 @@ impl TopKOperator {
     }
 }
 
+/// Top-K pair merges up to this `k` run entirely on the stack; larger `k`
+/// falls back to one heap scratch buffer per combine.
+const TOPK_MERGE_STACK: usize = 32;
+
 impl ReduceOperator for TopKOperator {
     fn name(&self) -> String {
         format!("topk:{}", self.k)
@@ -344,27 +433,66 @@ impl ReduceOperator for TopKOperator {
 
     fn combine_into(&self, acc: &mut [f32], other: &[f32]) {
         assert_eq!(acc.len(), other.len(), "reduction operands must have equal dimension");
-        // Merge the two sorted pair lists, keep the k best. Sorting the
-        // (score desc, index asc) key makes the merge fully deterministic
-        // and associative: the kept multiset only depends on the union.
-        let mut pairs: Vec<(f32, f32)> = acc
-            .chunks_exact(2)
-            .chain(other.chunks_exact(2))
-            .filter(|pair| pair[1] >= 0.0)
-            .map(|pair| (pair[0], pair[1]))
-            .collect();
-        pairs.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.total_cmp(&b.1)));
-        pairs.truncate(self.k);
+        // Two-pointer merge of the two pair lists under the
+        // (score desc, index asc) key, keeping the k best. Both [`lift`]
+        // and this method emit accumulators with the used pairs sorted by
+        // that key, so the merge is a linear walk; used slots anywhere in
+        // either operand are still picked up (the pointers skip unused
+        // slots), making the kept multiset a function of the union alone —
+        // deterministic and associative, exactly like the sort-based
+        // reference the parity tests pin this against, without its
+        // per-combine allocation.
+        let k = self.k;
+        let mut stack = [(0.0_f32, 0.0_f32); TOPK_MERGE_STACK];
+        let mut heap: Vec<(f32, f32)>;
+        let merged: &mut [(f32, f32)] = if k <= TOPK_MERGE_STACK {
+            &mut stack[..k]
+        } else {
+            heap = vec![(0.0, 0.0); k];
+            &mut heap
+        };
+        // First used pair at or after `p` (unused slots have index -1).
+        fn next_used(pairs: &[f32], mut p: usize) -> usize {
+            while p < pairs.len() && pairs[p + 1] < 0.0 {
+                p += 2;
+            }
+            p
+        }
+        let mut n = 0;
+        let mut i = next_used(acc, 0);
+        let mut j = next_used(other, 0);
+        while n < k && (i < acc.len() || j < other.len()) {
+            let other_first = if i >= acc.len() {
+                true
+            } else if j >= other.len() {
+                false
+            } else {
+                // `other`'s head strictly precedes under the sort key
+                // (ties keep `acc`'s copy, matching the stable sort).
+                match other[j].total_cmp(&acc[i]) {
+                    std::cmp::Ordering::Greater => true,
+                    std::cmp::Ordering::Less => false,
+                    std::cmp::Ordering::Equal => {
+                        other[j + 1].total_cmp(&acc[i + 1]) == std::cmp::Ordering::Less
+                    }
+                }
+            };
+            if other_first {
+                merged[n] = (other[j], other[j + 1]);
+                j = next_used(other, j + 2);
+            } else {
+                merged[n] = (acc[i], acc[i + 1]);
+                i = next_used(acc, i + 2);
+            }
+            n += 1;
+        }
         for (slot, pair) in acc.chunks_exact_mut(2).enumerate() {
-            match pairs.get(slot) {
-                Some(&(score, index)) => {
-                    pair[0] = score;
-                    pair[1] = index;
-                }
-                None => {
-                    pair[0] = f32::MIN;
-                    pair[1] = -1.0;
-                }
+            if slot < n {
+                pair[0] = merged[slot].0;
+                pair[1] = merged[slot].1;
+            } else {
+                pair[0] = f32::MIN;
+                pair[1] = -1.0;
             }
         }
     }
@@ -664,6 +792,114 @@ mod tests {
         }
     }
 
+    #[test]
+    fn unrolled_max_and_min_match_scalar_bitwise() {
+        for len in [0usize, 1, 3, 4, 5, 8, 127, 128, 130] {
+            let a: Vec<f32> = (0..len).map(|i| (i as f32 * 0.37).sin() * 1e3).collect();
+            let b: Vec<f32> = (0..len).map(|i| (i as f32 * 0.73).cos() * 1e3).collect();
+            let mut unrolled = a.clone();
+            max_assign_unrolled(&mut unrolled, &b);
+            let mut scalar = a.clone();
+            max_assign_scalar(&mut scalar, &b);
+            assert_eq!(
+                unrolled.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                scalar.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "max length {len}"
+            );
+            let mut unrolled = a.clone();
+            min_assign_unrolled(&mut unrolled, &b);
+            let mut scalar = a.clone();
+            min_assign_scalar(&mut scalar, &b);
+            assert_eq!(
+                unrolled.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                scalar.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "min length {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn unrolled_argmax_matches_scalar_reference() {
+        // Dims straddling the 4-wide unroll, with engineered ties so the
+        // lower-index tie-break is exercised on both lane groups and tail.
+        for dim in [1usize, 3, 4, 5, 7, 8, 64, 127, 128] {
+            let a: Vec<f32> = (0..dim).map(|i| ((i % 5) as f32 - 2.0) * 1.5).collect();
+            let b: Vec<f32> = (0..dim).map(|i| ((i % 3) as f32 - 1.0) * 1.5).collect();
+            let op = ArgMaxOperator;
+            let mut fast = op.lift(VectorIndex(9), &a);
+            op.combine_into(&mut fast, &op.lift(VectorIndex(4), &b));
+            // Scalar reference: the pre-unroll element loop.
+            let mut acc = op.lift(VectorIndex(9), &a);
+            let other = op.lift(VectorIndex(4), &b);
+            let (values, indices) = acc.split_at_mut(dim);
+            let (other_values, other_indices) = other.split_at(dim);
+            for j in 0..dim {
+                let take = other_values[j] > values[j]
+                    || (other_values[j] == values[j] && other_indices[j] < indices[j]);
+                if take {
+                    values[j] = other_values[j];
+                    indices[j] = other_indices[j];
+                }
+            }
+            assert_eq!(
+                fast.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                acc.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "dim {dim}"
+            );
+        }
+    }
+
+    /// The sort-based Top-K merge the two-pointer fast path replaced.
+    fn topk_merge_sort_reference(k: usize, acc: &mut [f32], other: &[f32]) {
+        let mut pairs: Vec<(f32, f32)> = acc
+            .chunks_exact(2)
+            .chain(other.chunks_exact(2))
+            .filter(|pair| pair[1] >= 0.0)
+            .map(|pair| (pair[0], pair[1]))
+            .collect();
+        pairs.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.total_cmp(&b.1)));
+        pairs.truncate(k);
+        for (slot, pair) in acc.chunks_exact_mut(2).enumerate() {
+            match pairs.get(slot) {
+                Some(&(score, index)) => {
+                    pair[0] = score;
+                    pair[1] = index;
+                }
+                None => {
+                    pair[0] = f32::MIN;
+                    pair[1] = -1.0;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn topk_two_pointer_merge_matches_sort_reference() {
+        // k = 40 exercises the heap fallback past the stack bound; tied
+        // scores (i % 7) exercise the index tie-break mid-merge.
+        for k in [1usize, 2, 3, 8, 32, 40] {
+            let op = TopKOperator::new(k);
+            let fold = |range: std::ops::Range<u32>| {
+                let mut acc = op.lift(VectorIndex(range.start), &[range.start as f32 % 7.0]);
+                for i in range.skip(1) {
+                    op.combine_into(&mut acc, &op.lift(VectorIndex(i), &[i as f32 % 7.0]));
+                }
+                acc
+            };
+            let a = fold(0..17);
+            let b = fold(40..97);
+            let mut fast = a.clone();
+            op.combine_into(&mut fast, &b);
+            let mut reference = a.clone();
+            topk_merge_sort_reference(k, &mut reference, &b);
+            assert_eq!(
+                fast.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                reference.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "k {k}"
+            );
+        }
+    }
+
     /// Strategy: `count` (index, vector) pairs with distinct indices.
     fn lift_inputs(
         dim: usize,
@@ -696,6 +932,7 @@ mod tests {
             Arc::new(MinOperator),
             Arc::new(ArgMaxOperator),
             Arc::new(TopKOperator::new(2)),
+            Arc::new(TopKOperator::new(TOPK_MERGE_STACK + 2)),
             Arc::new(TopKOperator::with_scoring(3, vec![0.5, -1.0, 2.0, 0.25])),
         ]
     }

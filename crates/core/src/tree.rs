@@ -301,7 +301,8 @@ impl ReductionTree {
     ) -> Vec<Item> {
         let first_input_ns =
             a.iter().chain(&b).map(|item| item.ready_ns).fold(f64::INFINITY, f64::min);
-        let (mut out, counts) = pe.process_with(operator, &a, &b);
+        let (inputs_a, inputs_b) = (a.len(), b.len());
+        let (mut out, counts) = pe.process_owned(operator, a, b);
         stats.ops.merge(&counts);
         stats.pes += 1;
         stats.max_buffer_items = stats.max_buffer_items.max(counts.max_input_items);
@@ -319,8 +320,8 @@ impl ReductionTree {
             trace.record(crate::exec_trace::PeFiring {
                 level,
                 index,
-                inputs_a: a.len(),
-                inputs_b: b.len(),
+                inputs_a,
+                inputs_b,
                 outputs: out.len(),
                 first_input_ns: if first_input_ns.is_finite() { first_input_ns } else { 0.0 },
                 last_output_ns: out.iter().map(|item| item.ready_ns).fold(0.0, f64::max),

@@ -33,8 +33,7 @@
 //! the precharge after the last burst to a row does not consume a
 //! command-bus slot.
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
 
@@ -101,12 +100,32 @@ pub struct ChannelController {
     /// configuration enables the NDP data path.
     buses: Vec<DataBus>,
     /// Per-bank burst queues in submission (seq) order, indexed
-    /// `rank * banks_per_rank + flat_bank`.
-    bank_queues: Vec<Vec<(BurstJob, BurstProgress)>>,
+    /// `rank * banks_per_rank + flat_bank`. Deques because the scheduler
+    /// overwhelmingly removes at or near the front (sequential bursts of
+    /// one read are same-row hits issued in seq order).
+    bank_queues: Vec<VecDeque<(BurstJob, BurstProgress)>>,
     /// Indices of non-empty entries in `bank_queues` (unordered).
     busy_banks: Vec<usize>,
     /// Total queued bursts across all banks.
     queued: usize,
+    /// Every queued burst's `(seq, bank queue index)`, seq-ascending.
+    /// Appends go to the back (submission order is global seq order) and
+    /// the scheduler only ever removes bursts inside the window — the
+    /// `SCHED_WINDOW` smallest — so maintenance is O(window), the window's
+    /// limiting seq is O(1), and the set of banks the scheduler needs to
+    /// scan at all is the (typically small) set of banks holding window
+    /// bursts rather than every busy bank.
+    window_seqs: VecDeque<(u64, u32)>,
+    /// Distinct bank queues currently holding at least one window burst
+    /// (unordered — every scheduler selection is a min over unique seqs or
+    /// cycles, so scan order is irrelevant). Maintained incrementally from
+    /// `window_bank_count` on enqueue/removal instead of being rebuilt by
+    /// deduplicating the window every cycle.
+    window_banks: Vec<u32>,
+    /// Per bank queue: its index in `window_banks`, or `u32::MAX`.
+    window_bank_pos: Vec<u32>,
+    /// Per bank queue: number of its bursts inside the scheduling window.
+    window_bank_count: Vec<u32>,
     /// Banks per rank, cached for queue indexing.
     banks_per_rank: usize,
     stats: MemoryStats,
@@ -145,9 +164,13 @@ impl ChannelController {
             config,
             ranks,
             buses: vec![DataBus::new(); bus_count],
-            bank_queues: vec![Vec::new(); rank_count * banks_per_rank],
+            bank_queues: vec![VecDeque::new(); rank_count * banks_per_rank],
             busy_banks: Vec::new(),
             queued: 0,
+            window_seqs: VecDeque::new(),
+            window_banks: Vec::new(),
+            window_bank_pos: vec![u32::MAX; rank_count * banks_per_rank],
+            window_bank_count: vec![0; rank_count * banks_per_rank],
             banks_per_rank,
             stats: MemoryStats::new(),
             next_refresh,
@@ -204,15 +227,19 @@ impl ChannelController {
     /// increasing `seq` order (the system's global submission order).
     pub fn enqueue(&mut self, job: BurstJob) {
         let qi = self.queue_index(job.location.rank, job.location.flat_bank(&self.config.topology));
-        let queue = &mut self.bank_queues[qi];
         debug_assert!(
-            queue.last().is_none_or(|(last, _)| last.seq < job.seq),
+            self.bank_queues[qi].back().is_none_or(|(last, _)| last.seq < job.seq),
             "bursts must arrive in seq order"
         );
-        if queue.is_empty() {
+        if self.bank_queues[qi].is_empty() {
             self.busy_banks.push(qi);
         }
-        queue.push((job, BurstProgress::default()));
+        debug_assert!(self.window_seqs.back().is_none_or(|&(last, _)| last < job.seq));
+        self.window_seqs.push_back((job.seq, qi as u32));
+        if self.window_seqs.len() <= SCHED_WINDOW {
+            self.window_bank_add(qi as u32);
+        }
+        self.bank_queues[qi].push_back((job, BurstProgress::default()));
         self.queued += 1;
         self.stats.max_queue_depth = self.stats.max_queue_depth.max(self.queued as u64);
     }
@@ -220,7 +247,21 @@ impl ChannelController {
     /// Removes the burst at `pos` of bank queue `qi`, maintaining the busy
     /// set and total count.
     fn remove_job(&mut self, qi: usize, pos: usize) -> (BurstJob, BurstProgress) {
-        let entry = self.bank_queues[qi].remove(pos);
+        let entry = self.bank_queues[qi].remove(pos).expect("position in bounds");
+        // The scheduler only issues seqs at or below the window limit, i.e.
+        // among the SCHED_WINDOW globally oldest — a bounded front scan.
+        let seq_at = self
+            .window_seqs
+            .iter()
+            .take(SCHED_WINDOW)
+            .position(|&(seq, _)| seq == entry.0.seq)
+            .expect("queued burst tracked in window_seqs");
+        self.window_seqs.remove(seq_at);
+        self.window_bank_remove(qi as u32);
+        if self.window_seqs.len() >= SCHED_WINDOW {
+            let (_, slid_in) = self.window_seqs[SCHED_WINDOW - 1];
+            self.window_bank_add(slid_in);
+        }
         self.queued -= 1;
         if self.bank_queues[qi].is_empty() {
             let at = self.busy_banks.iter().position(|&b| b == qi).expect("busy bank tracked");
@@ -265,28 +306,45 @@ impl ChannelController {
     /// The largest `seq` inside the scheduling window: bursts younger than
     /// this are invisible to the scheduler this cycle.
     ///
-    /// The window holds the `SCHED_WINDOW` globally-oldest queued bursts.
-    /// Each bank queue is seq-sorted, so a k-way merge over queue fronts
-    /// finds the window's limiting seq in O(window · log banks) — and only
-    /// when the controller is actually backlogged.
+    /// The window holds the `SCHED_WINDOW` globally-oldest queued bursts,
+    /// which is exactly the `SCHED_WINDOW`-th entry of the sorted
+    /// `window_seqs` deque — O(1) per cycle instead of the k-way merge
+    /// over bank-queue fronts this used to rebuild every scan.
     fn window_limit_seq(&self) -> u64 {
         if self.queued <= SCHED_WINDOW {
             return u64::MAX;
         }
-        let mut heads: BinaryHeap<Reverse<(u64, usize, usize)>> = self
-            .busy_banks
-            .iter()
-            .map(|&qi| Reverse((self.bank_queues[qi][0].0.seq, qi, 0)))
-            .collect();
-        let mut limit = 0;
-        for _ in 0..SCHED_WINDOW {
-            let Some(Reverse((seq, qi, pos))) = heads.pop() else { break };
-            limit = seq;
-            if let Some((next, _)) = self.bank_queues[qi].get(pos + 1) {
-                heads.push(Reverse((next.seq, qi, pos + 1)));
+        self.window_seqs[SCHED_WINDOW - 1].0
+    }
+
+    /// Counts one more window burst for bank queue `qi`, adding it to the
+    /// scan list on its first. Only banks in that list can legally issue
+    /// anything: every issue rule requires `seq <= window_limit_seq()`, and
+    /// a bank whose oldest burst is outside the window has no such burst.
+    /// Bursts of one read cluster in one bank, so the list is typically far
+    /// smaller than the busy-bank set.
+    fn window_bank_add(&mut self, qi: u32) {
+        let count = &mut self.window_bank_count[qi as usize];
+        *count += 1;
+        if *count == 1 {
+            self.window_bank_pos[qi as usize] = self.window_banks.len() as u32;
+            self.window_banks.push(qi);
+        }
+    }
+
+    /// Counts one window burst gone from bank queue `qi`, dropping it from
+    /// the scan list on its last.
+    fn window_bank_remove(&mut self, qi: u32) {
+        let count = &mut self.window_bank_count[qi as usize];
+        *count -= 1;
+        if *count == 0 {
+            let pos = self.window_bank_pos[qi as usize] as usize;
+            self.window_bank_pos[qi as usize] = u32::MAX;
+            self.window_banks.swap_remove(pos);
+            if let Some(&moved) = self.window_banks.get(pos) {
+                self.window_bank_pos[moved as usize] = pos as u32;
             }
         }
-        limit
     }
 
     /// Under strict FCFS only the oldest *arrived* burst may issue; returns
@@ -321,13 +379,51 @@ impl ChannelController {
         if let PagePolicy::Adaptive { timeout } = self.config.page_policy {
             self.service_adaptive_closes(now, timeout);
         }
-        if self.try_issue_column(now, out) {
+        // The scheduling window and FCFS head are functions of the queue
+        // contents only, which no failed issue attempt mutates — compute
+        // them once per cycle instead of once per attempted command class.
+        let limit = self.window_limit_seq();
+        let fcfs_only = self.fcfs_only_seq(now);
+        if self.try_issue_column(now, limit, fcfs_only, out) {
             return;
         }
-        if self.try_issue_act(now) {
+        if self.try_issue_act(now, limit, fcfs_only) {
             return;
         }
-        let _ = self.try_issue_pre(now);
+        let _ = self.try_issue_pre(now, limit, fcfs_only);
+    }
+
+    /// Drains this controller's queue to empty on a private clock starting
+    /// at `start`, fast-forwarding over dead cycles exactly like
+    /// [`crate::MemorySystem::run_until_idle`]. Returns the local cycle
+    /// after the last command issued plus the cycles skipped.
+    ///
+    /// Only valid while channels are decoupled: with periodic refresh off
+    /// and a non-adaptive page policy, every issue decision is a function
+    /// of this controller's own state and the cycle number, so draining
+    /// channels one at a time issues every command on exactly the same
+    /// cycle as the global lockstep driver (the parity suite pins this).
+    pub fn drain(&mut self, start: Cycle, out: &mut Vec<BurstResult>) -> (Cycle, u64) {
+        debug_assert!(
+            !self.config.refresh && !matches!(self.config.page_policy, PagePolicy::Adaptive { .. }),
+            "drain requires decoupled channels (no refresh, non-adaptive page policy)"
+        );
+        let mut now = start;
+        let mut skipped = 0;
+        while !self.is_idle() {
+            self.tick(now, out);
+            now += 1;
+            // Jump over dead cycles after *every* tick (the lockstep driver
+            // only jumps after a globally-empty one): cycles before the next
+            // event bound are provably no-ops, issued command or not.
+            if let Some(next) = self.next_event_cycle(now) {
+                if next > now {
+                    skipped += next - now;
+                    now = next;
+                }
+            }
+        }
+        (now, skipped)
     }
 
     /// Fires any due refresh: close the rank's banks and block it for tRFC.
@@ -412,40 +508,70 @@ impl ChannelController {
         // the head of a bank queue, so a blocked non-head burst's progress
         // is bounded by its head's event and needs no term of its own.
         let limit = self.window_limit_seq();
-        for &qi in &self.busy_banks {
+        for &qi in &self.window_banks {
+            let qi = qi as usize;
             let rank_index = qi / self.banks_per_rank;
             let flat = qi % self.banks_per_rank;
             let rank = &self.ranks[rank_index];
             let bank = rank.bank(flat);
             let refresh_floor =
                 if self.config.refresh { self.refresh_until[rank_index] } else { 0 };
-            for (pos, (job, _)) in self.bank_queues[qi].iter().enumerate() {
-                if job.seq > limit {
-                    break;
+            match bank.state() {
+                // Idle bank: every queued row is a miss, and ACT only ever
+                // goes to the queue head.
+                crate::bank::BankState::Idle => {
+                    let job = &self.bank_queues[qi][0].0;
+                    if job.seq > limit {
+                        continue;
+                    }
+                    let device_ready = bank.act_ready(now).max(rank.act_ready(now, flat, &timing));
+                    best = best.min(device_ready.max(job.arrival).max(refresh_floor).max(now));
                 }
-                let device_ready = match bank.outcome_for(job.location.row) {
-                    RowOutcome::Hit => {
-                        // The column command must issue exactly tCL/tCWL
-                        // before its data phase can start on the bus, so an
-                        // existing bus reservation bounds the issue cycle.
-                        let bus = &self.buses[self.bus_index(rank_index)];
-                        let data_latency = match job.kind {
-                            AccessKind::Read => timing.tCL,
-                            AccessKind::Write => timing.tCWL,
-                        };
-                        let bus_floor =
-                            bus.earliest_start(rank_index, &timing).saturating_sub(data_latency);
-                        bank.column_ready(now)
-                            .max(rank.column_ready(now, flat, &timing))
-                            .max(bus_floor)
+                // Open row: hits may issue from any position (FR-FCFS
+                // bypass); a conflicting head is bounded by its precharge.
+                // Device and bus readiness are per-bank constants, hoisted
+                // out of the position scan. The column command must issue
+                // exactly tCL/tCWL before its data phase can start on the
+                // bus, so an existing bus reservation bounds the issue
+                // cycle.
+                crate::bank::BankState::Active(open_row) => {
+                    let hit_base = bank
+                        .column_ready(now)
+                        .max(rank.column_ready(now, flat, &timing))
+                        .max(refresh_floor)
+                        .max(now);
+                    let bus_start =
+                        self.buses[self.bus_index(rank_index)].earliest_start(rank_index, &timing);
+                    let floor_read = bus_start.saturating_sub(timing.tCL);
+                    let floor_write = bus_start.saturating_sub(timing.tCWL);
+                    // The earliest any hit in this bank could issue,
+                    // regardless of kind or arrival.
+                    let min_base = hit_base.max(floor_read.min(floor_write));
+                    for (pos, (job, _)) in self.bank_queues[qi].iter().enumerate() {
+                        if job.seq > limit {
+                            break;
+                        }
+                        if job.location.row == open_row {
+                            let base = hit_base.max(match job.kind {
+                                AccessKind::Read => floor_read,
+                                AccessKind::Write => floor_write,
+                            });
+                            best = best.min(base.max(job.arrival));
+                            if job.arrival <= base && base == min_base {
+                                // This hit already issues at the bank's
+                                // floor; no later hit here can bound
+                                // earlier (only a smaller arrival or a
+                                // cheaper kind could, and neither can go
+                                // below `min_base`).
+                                break;
+                            }
+                        } else if pos == 0 {
+                            let bound =
+                                bank.pre_ready(now).max(job.arrival).max(refresh_floor).max(now);
+                            best = best.min(bound);
+                        }
                     }
-                    RowOutcome::Miss if pos == 0 => {
-                        bank.act_ready(now).max(rank.act_ready(now, flat, &timing))
-                    }
-                    RowOutcome::Conflict if pos == 0 => bank.pre_ready(now),
-                    _ => continue, // blocked behind this bank's head
-                };
-                best = best.min(device_ready.max(job.arrival).max(refresh_floor).max(now));
+                }
             }
         }
         // (2) Refresh fire times: a refresh is observable (Ref record, rank
@@ -483,13 +609,18 @@ impl ChannelController {
     }
 
     /// Attempts to issue a RD/WR for the oldest ready row-hit burst.
-    fn try_issue_column(&mut self, now: Cycle, out: &mut Vec<BurstResult>) -> bool {
+    fn try_issue_column(
+        &mut self,
+        now: Cycle,
+        limit: u64,
+        fcfs_only: Option<u64>,
+        out: &mut Vec<BurstResult>,
+    ) -> bool {
         let timing = self.config.timing;
         let topology = self.config.topology;
-        let limit = self.window_limit_seq();
-        let fcfs_only = self.fcfs_only_seq(now);
         let mut best: Option<(usize, usize, u64)> = None;
-        for &qi in &self.busy_banks {
+        for i in 0..self.window_banks.len() {
+            let qi = self.window_banks[i] as usize;
             let rank_index = qi / self.banks_per_rank;
             let flat = qi % self.banks_per_rank;
             if self.rank_refreshing(rank_index, now) {
@@ -499,6 +630,16 @@ impl ChannelController {
             let bank = rank.bank(flat);
             let crate::bank::BankState::Active(open_row) = bank.state() else { continue };
             if bank.column_ready(now) > now || rank.column_ready(now, flat, &timing) > now {
+                continue;
+            }
+            // The data phase must start exactly when the device produces
+            // it; if the bus is busy then, hold the command. Whether it is
+            // free at `now + tCL/tCWL` is a per-bank constant, hoisted out
+            // of the position scan.
+            let bus = &self.buses[self.bus_index(rank_index)];
+            let read_ok = bus.ready(now + timing.tCL, rank_index, &timing) == now + timing.tCL;
+            let write_ok = bus.ready(now + timing.tCWL, rank_index, &timing) == now + timing.tCWL;
+            if !read_ok && !write_ok {
                 continue;
             }
             for (pos, (job, _)) in self.bank_queues[qi].iter().enumerate() {
@@ -511,14 +652,11 @@ impl ChannelController {
                 {
                     continue;
                 }
-                // The data phase must start exactly when the device produces
-                // it; if the bus is busy then, hold the command.
-                let data_start = match job.kind {
-                    AccessKind::Read => now + timing.tCL,
-                    AccessKind::Write => now + timing.tCWL,
+                let bus_free = match job.kind {
+                    AccessKind::Read => read_ok,
+                    AccessKind::Write => write_ok,
                 };
-                let bus = &self.buses[self.bus_index(rank_index)];
-                if bus.ready(data_start, rank_index, &timing) != data_start {
+                if !bus_free {
                     continue;
                 }
                 if best.is_none_or(|(_, _, seq)| job.seq < seq) {
@@ -576,12 +714,11 @@ impl ChannelController {
     }
 
     /// Attempts to activate the row needed by the oldest head-of-bank burst.
-    fn try_issue_act(&mut self, now: Cycle) -> bool {
+    fn try_issue_act(&mut self, now: Cycle, limit: u64, fcfs_only: Option<u64>) -> bool {
         let timing = self.config.timing;
-        let limit = self.window_limit_seq();
-        let fcfs_only = self.fcfs_only_seq(now);
         let mut best: Option<(usize, u64)> = None;
-        for &qi in &self.busy_banks {
+        for i in 0..self.window_banks.len() {
+            let qi = self.window_banks[i] as usize;
             let rank_index = qi / self.banks_per_rank;
             let flat = qi % self.banks_per_rank;
             let (job, _) = &self.bank_queues[qi][0];
@@ -619,12 +756,11 @@ impl ChannelController {
     }
 
     /// Attempts to precharge a bank whose open row blocks its oldest burst.
-    fn try_issue_pre(&mut self, now: Cycle) -> bool {
+    fn try_issue_pre(&mut self, now: Cycle, limit: u64, fcfs_only: Option<u64>) -> bool {
         let timing = self.config.timing;
-        let limit = self.window_limit_seq();
-        let fcfs_only = self.fcfs_only_seq(now);
         let mut best: Option<(usize, u64)> = None;
-        for &qi in &self.busy_banks {
+        for i in 0..self.window_banks.len() {
+            let qi = self.window_banks[i] as usize;
             let rank_index = qi / self.banks_per_rank;
             let flat = qi % self.banks_per_rank;
             let (job, _) = &self.bank_queues[qi][0];

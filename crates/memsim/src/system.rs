@@ -145,6 +145,15 @@ impl MemorySystem {
         for controller in &mut self.controllers {
             controller.tick(self.now, &mut results);
         }
+        self.absorb(results);
+        self.now += 1;
+    }
+
+    /// Folds finished bursts into per-request tracking; requests whose last
+    /// burst landed become [`Completion`]s. Every fold is commutative (min
+    /// start, max finish, outcome counts, integer sums), so the absorption
+    /// order across controllers is immaterial.
+    fn absorb(&mut self, results: Vec<crate::controller::BurstResult>) {
         for result in results {
             let Some(pending) = self.pending.get_mut(&result.id) else { continue };
             pending.start_cycle = pending.start_cycle.min(result.issue_cycle);
@@ -173,7 +182,6 @@ impl MemorySystem {
                 );
             }
         }
-        self.now += 1;
     }
 
     /// Runs until every queued burst has issued, then advances the clock to
@@ -188,6 +196,39 @@ impl MemorySystem {
     /// [`MemorySystem::run_until_idle_stepped`] — the parity suite asserts
     /// identical command logs, stats and completions.
     pub fn run_until_idle(&mut self) -> Cycle {
+        // Periodic refresh and adaptive closes fire on controllers even
+        // while they hold no queued work, coupling every channel to the
+        // global clock; those modes keep the lockstep driver.
+        if self.config.refresh
+            || matches!(self.config.page_policy, crate::config::PagePolicy::Adaptive { .. })
+        {
+            return self.run_until_idle_lockstep();
+        }
+        // Otherwise channels share no simulation state, so each controller
+        // drains to empty on its own private clock — skipping every cycle
+        // on which only *other* channels had events — and issues each
+        // command on exactly the same cycle the lockstep driver would.
+        let start = self.now;
+        let mut end = self.now;
+        let mut results = Vec::new();
+        for controller in &mut self.controllers {
+            if controller.is_idle() {
+                continue;
+            }
+            let (local_end, skipped) = controller.drain(start, &mut results);
+            end = end.max(local_end);
+            self.skipped_cycles += skipped;
+        }
+        self.now = end;
+        self.absorb(results);
+        self.finish_clock()
+    }
+
+    /// Lockstep driver: ticks every controller on one shared clock,
+    /// fast-forwarding only when *no* controller dequeued anything. Needed
+    /// whenever idle controllers still have scheduled events (refresh,
+    /// adaptive closes); kept as the general-case fallback.
+    fn run_until_idle_lockstep(&mut self) -> Cycle {
         while self.controllers.iter().any(|c| !c.is_idle()) {
             let before = self.total_queued();
             self.tick();

@@ -1,0 +1,156 @@
+//! Profiling driver for the serving data plane (`just profile`).
+//!
+//! Two modes:
+//!
+//! * `LOOPS=N profile_sim` — run the serving-bench workload (three
+//!   deadline windows x 512 queries) N times and nothing else. This is
+//!   the sampling target for `gprofng collect app`: pure simulate()
+//!   work, no measurement scaffolding in the profile. `LOOPS=10` also
+//!   gives a low-noise wall-clock number on a busy host via min-of-N
+//!   under `time`.
+//! * `profile_sim` (no env) — a one-shot wall-clock decomposition of the
+//!   same workload: whole-run vs engine.lookup time, then one batch
+//!   split into preprocess/gather/reduce, then reduce split into
+//!   rank-input injection vs the tree run. Useful for a quick look at
+//!   where a change moved time without firing up a profiler.
+//!
+//! See DESIGN.md §12 for the performance model these numbers feed.
+use fafnir_core::{Batch, EmbeddingSource, FafnirEngine, GatherEngine, StripedSource};
+use fafnir_serve::{simulate, BatchPolicy, ServeConfig};
+use fafnir_workloads::arrival::ArrivalProcess;
+use fafnir_workloads::query::{BatchGenerator, Popularity};
+use std::time::Instant;
+
+fn main() {
+    let mem = fafnir_mem::MemoryConfig::ddr4_2400_4ch();
+    let engine = FafnirEngine::paper_default(mem).unwrap();
+    let source = StripedSource::new(mem.topology, 128);
+
+    // LOOPS=N loops the pure simulate() runs for profiler sample density.
+    let loops: usize = std::env::var("LOOPS").ok().and_then(|s| s.parse().ok()).unwrap_or(0);
+    for _ in 0..loops {
+        for window in [1000.0, 4000.0, 16000.0] {
+            let config = ServeConfig {
+                arrivals: ArrivalProcess::Poisson { rate_qps: 2e6 },
+                policy: BatchPolicy::Deadline { max_wait_ns: window, max_batch: 32 },
+                queries: 512,
+                ..ServeConfig::default()
+            };
+            let mut traffic =
+                BatchGenerator::new(Popularity::Zipf { exponent: 1.15 }, 2_000, 16, 7);
+            let _ = std::hint::black_box(simulate(&engine, &source, &mut traffic, &config));
+        }
+    }
+    if loops > 0 {
+        return;
+    }
+
+    // Reproduce the bench batches: run simulate once to log batch sizes.
+    for window in [1000.0, 4000.0, 16000.0] {
+        let config = ServeConfig {
+            arrivals: ArrivalProcess::Poisson { rate_qps: 2e6 },
+            policy: BatchPolicy::Deadline { max_wait_ns: window, max_batch: 32 },
+            queries: 512,
+            ..ServeConfig::default()
+        };
+        let mut traffic = BatchGenerator::new(Popularity::Zipf { exponent: 1.15 }, 2_000, 16, 7);
+        let t0 = Instant::now();
+        let outcome = simulate(&engine, &source, &mut traffic, &config).unwrap();
+        let total = t0.elapsed();
+        // Now measure just the lookups for the same batches.
+        let mut traffic2 = BatchGenerator::new(Popularity::Zipf { exponent: 1.15 }, 2_000, 16, 7);
+        let shapes: Vec<_> = (0..512).map(|_| traffic2.query()).collect();
+        let t1 = Instant::now();
+        let mut n = 0usize;
+        for b in &outcome.batches {
+            let batch = Batch::from_index_sets(b.queries.iter().map(|&id| shapes[id].clone()));
+            let _ = engine.lookup(&batch, &source).unwrap();
+            n += 1;
+        }
+        let lookups = t1.elapsed();
+        println!(
+            "window {window:>7}: total {:>8.1} ms, lookups({n:>3}) {:>8.1} ms ({:.0}%)",
+            total.as_secs_f64() * 1e3,
+            lookups.as_secs_f64() * 1e3,
+            lookups.as_secs_f64() / total.as_secs_f64() * 100.0
+        );
+        // decompose one lookup: preprocess/gather/reduce
+        let b = &outcome.batches[outcome.batches.len() / 2];
+        let batch = Batch::from_index_sets(b.queries.iter().map(|&id| shapes[id].clone()));
+        let reps = 200;
+        let t = Instant::now();
+        for _ in 0..reps {
+            let _ = engine.preprocess(&batch, &source).unwrap();
+        }
+        let pre = t.elapsed() / reps;
+        let plans = engine.preprocess(&batch, &source).unwrap();
+        let t = Instant::now();
+        for _ in 0..reps {
+            for p in &plans {
+                let _ = engine.gather(p);
+            }
+        }
+        let gat = t.elapsed() / reps;
+        let gathered: Vec<_> = plans.iter().map(|p| engine.gather(p)).collect();
+        let t = Instant::now();
+        for _ in 0..reps {
+            for (p, g) in plans.iter().zip(&gathered) {
+                let _ = engine.reduce(p, g.clone(), &source).unwrap();
+            }
+        }
+        let red = t.elapsed() / reps;
+        println!(
+            "  one batch (size {}): preprocess {pre:?}, gather {gat:?}, reduce {red:?}",
+            batch.len()
+        );
+        // Decompose reduce: inject vs tree run.
+        let operator = engine.active_operator();
+        let p = &plans[plans.len() / 2];
+        let g = engine.gather(p);
+        let vectors: Vec<fafnir_core::inject::GatheredVector> = g
+            .completions
+            .iter()
+            .map(|c| fafnir_core::inject::GatheredVector {
+                index: c.index,
+                rank: c.rank,
+                value: source.value_of(p.resolve(c.index)),
+                ready_ns: c.ready_ns,
+            })
+            .collect();
+        let ranks = mem.topology.total_ranks();
+        let t = Instant::now();
+        for _ in 0..reps {
+            let _ = fafnir_core::inject::build_rank_inputs_with(
+                &p.batch,
+                &vectors,
+                ranks,
+                engine.config().ranks_per_leaf,
+                &*operator,
+                &engine.config().pe_timing,
+            );
+        }
+        let inj = t.elapsed() / reps;
+        let inputs = fafnir_core::inject::build_rank_inputs_with(
+            &p.batch,
+            &vectors,
+            ranks,
+            engine.config().ranks_per_leaf,
+            &*operator,
+            &engine.config().pe_timing,
+        );
+        let t = Instant::now();
+        for _ in 0..reps {
+            let _ = engine.tree().run_with(&*operator, inputs.clone());
+        }
+        let tree = t.elapsed() / reps;
+        let t = Instant::now();
+        for _ in 0..reps {
+            let _ = std::hint::black_box(inputs.clone());
+        }
+        let clone = t.elapsed() / reps;
+        let items: usize = inputs.iter().map(Vec::len).sum();
+        println!(
+            "    reduce split (one plan): inject {inj:?}, tree {tree:?} (input clone {clone:?}, {items} items)"
+        );
+    }
+}

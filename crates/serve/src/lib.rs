@@ -67,12 +67,14 @@ pub mod policy;
 pub mod queue;
 pub mod record;
 pub mod report;
+pub mod scenarios;
 pub mod sim;
 
 pub use policy::BatchPolicy;
 pub use queue::ShedPolicy;
 pub use record::{AttemptRecord, AttemptResult, BatchRecord, QueryOutcome, QueryRecord};
 pub use report::{LatencyStats, ServeReport};
+pub use scenarios::{run_scenarios, Scenario, ScenarioResult};
 pub use sim::{simulate, simulate_resilient, ResilienceConfig, ServeConfig, ServeOutcome};
 
 /// Errors a serving simulation can produce.

@@ -10,14 +10,13 @@
 //! value-sorted arrays so the report is invariant under worker
 //! renumbering.
 
-use fafnir_core::nearest_rank_percentile_ns;
-
 use crate::record::{AttemptResult, QueryRecord};
 use crate::sim::{ResilienceConfig, ServeConfig, ServeOutcome};
 
 /// Nearest-rank summary of one latency sample, in nanoseconds.
 ///
-/// An empty sample keeps the documented [`nearest_rank_percentile_ns`]
+/// An empty sample keeps the documented
+/// [`nearest_rank_percentile_ns`](fafnir_core::nearest_rank_percentile_ns)
 /// convention for library callers — every field is `0.0` and `count` is 0
 /// — but serializes as JSON `null` (a percentile of nothing is not 0 ns).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -45,14 +44,24 @@ impl LatencyStats {
         if samples.is_empty() {
             return Self::default();
         }
+        // One sort serves all five percentiles. The rank arithmetic is
+        // exactly [`nearest_rank_percentile_ns`]'s, and the mean still sums
+        // in sample order, so the summary is byte-identical to five
+        // independent percentile calls (pinned by a test below).
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let at = |p: f64| {
+            let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[rank - 1]
+        };
         Self {
             count: samples.len(),
             mean_ns: samples.iter().sum::<f64>() / samples.len() as f64,
-            p50_ns: nearest_rank_percentile_ns(samples, 0.5),
-            p95_ns: nearest_rank_percentile_ns(samples, 0.95),
-            p99_ns: nearest_rank_percentile_ns(samples, 0.99),
-            p999_ns: nearest_rank_percentile_ns(samples, 0.999),
-            max_ns: nearest_rank_percentile_ns(samples, 1.0),
+            p50_ns: at(0.5),
+            p95_ns: at(0.95),
+            p99_ns: at(0.99),
+            p999_ns: at(0.999),
+            max_ns: at(1.0),
         }
     }
 
@@ -417,6 +426,7 @@ impl ServeReport {
 mod tests {
     use super::*;
     use crate::record::{AttemptRecord, AttemptResult, BatchRecord, QueryOutcome, QueryRecord};
+    use fafnir_core::nearest_rank_percentile_ns;
 
     #[test]
     fn latency_stats_match_nearest_rank_definition() {
@@ -429,6 +439,37 @@ mod tests {
         assert_eq!(stats.max_ns, 5.0);
         assert!((stats.mean_ns - 3.0).abs() < 1e-12);
         assert_eq!(LatencyStats::of(&[]), LatencyStats::default());
+    }
+
+    #[test]
+    fn sorted_once_summary_matches_five_percentile_calls_bitwise() {
+        // Adversarial sample: duplicates, negative zero, unsorted order and
+        // sizes straddling every rank rounding edge.
+        for len in [1usize, 2, 3, 19, 100, 101, 999, 1000, 1001] {
+            let samples: Vec<f64> = (0..len)
+                .map(|i| match i % 7 {
+                    0 => -0.0,
+                    1 => 0.0,
+                    n => ((i * 37 % len) as f64 - n as f64) * 13.5,
+                })
+                .collect();
+            let stats = LatencyStats::of(&samples);
+            for (got, p) in [
+                (stats.p50_ns, 0.5),
+                (stats.p95_ns, 0.95),
+                (stats.p99_ns, 0.99),
+                (stats.p999_ns, 0.999),
+                (stats.max_ns, 1.0),
+            ] {
+                assert_eq!(
+                    got.to_bits(),
+                    nearest_rank_percentile_ns(&samples, p).to_bits(),
+                    "len {len} p{p}"
+                );
+            }
+            let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+            assert_eq!(stats.mean_ns.to_bits(), mean.to_bits(), "len {len} mean");
+        }
     }
 
     #[test]

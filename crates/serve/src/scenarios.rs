@@ -1,0 +1,120 @@
+//! Deterministic parallel execution of independent serving scenarios.
+//!
+//! A parameter sweep — batching windows, arrival rates, fault plans — is a
+//! set of *self-contained* simulations: each scenario owns its traffic
+//! generator and configuration, and the engine's lookup path is a pure
+//! function of the batch. That is exactly the
+//! [`fafnir_core::ParallelBatchDriver`] determinism trick one level up:
+//! fan the scenarios out over a thread pool with an atomic work index,
+//! land every outcome in its submission-order slot, and the result — down
+//! to the rendered [`crate::ServeReport`] JSON bytes — is identical for
+//! any thread count, including the sequential `threads == 1` path (pinned
+//! by the property tests in `tests/serving.rs`).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use fafnir_core::pipeline::GatherEngine;
+use fafnir_core::EmbeddingSource;
+use fafnir_workloads::query::BatchGenerator;
+
+use crate::sim::{simulate_resilient, ResilienceConfig, ServeConfig, ServeOutcome};
+use crate::ServeError;
+
+/// One self-contained serving simulation: its own configuration, fault
+/// layer and traffic generator.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Display label, carried through to the result row.
+    pub label: String,
+    /// The serving configuration to run.
+    pub config: ServeConfig,
+    /// Fault/resilience layer; `None` runs fault-free
+    /// ([`ResilienceConfig::none`] for `config.workers`).
+    pub resilience: Option<ResilienceConfig>,
+    /// The query-shape generator. Owned per scenario: generator state is
+    /// the one mutable input of a run, so sharing one across scenarios
+    /// would make results depend on execution order.
+    pub traffic: BatchGenerator,
+}
+
+impl Scenario {
+    /// A fault-free scenario.
+    #[must_use]
+    pub fn new(label: impl Into<String>, config: ServeConfig, traffic: BatchGenerator) -> Self {
+        Self { label: label.into(), config, resilience: None, traffic }
+    }
+
+    /// The same scenario under a fault plan.
+    #[must_use]
+    pub fn with_resilience(mut self, resilience: ResilienceConfig) -> Self {
+        self.resilience = Some(resilience);
+        self
+    }
+}
+
+/// One finished scenario: the label it was submitted under and its outcome.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// The scenario's label.
+    pub label: String,
+    /// The simulation outcome (or the first error it hit).
+    pub outcome: Result<ServeOutcome, ServeError>,
+}
+
+/// Runs every scenario on up to `threads` pool workers and returns the
+/// results in submission order.
+///
+/// Each scenario is simulated exactly as a standalone
+/// [`crate::simulate_resilient`] call would: outcomes — and any report or
+/// JSON derived from them — are byte-identical for every `threads` value.
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn run_scenarios<E, S>(
+    engine: &E,
+    source: &S,
+    scenarios: Vec<Scenario>,
+    threads: usize,
+) -> Vec<ScenarioResult>
+where
+    E: GatherEngine + Sync,
+    S: EmbeddingSource + Sync,
+{
+    assert!(threads >= 1, "scenario runner needs at least one thread");
+    let run_one = |scenario: Scenario| -> ScenarioResult {
+        let Scenario { label, config, resilience, mut traffic } = scenario;
+        let resilience = resilience.unwrap_or_else(|| ResilienceConfig::none(config.workers));
+        let outcome = simulate_resilient(engine, source, &mut traffic, &config, &resilience);
+        ScenarioResult { label, outcome }
+    };
+    let workers = threads.min(scenarios.len()).max(1);
+    if workers == 1 {
+        return scenarios.into_iter().map(run_one).collect();
+    }
+    // The ParallelBatchDriver pattern: an atomic work index hands each
+    // scenario to exactly one pool worker; per-scenario slots make the
+    // output order the submission order regardless of interleaving.
+    let next = AtomicUsize::new(0);
+    let jobs: Vec<Mutex<Option<Scenario>>> =
+        scenarios.into_iter().map(|scenario| Mutex::new(Some(scenario))).collect();
+    let slots: Vec<Mutex<Option<ScenarioResult>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                let scenario =
+                    jobs[i].lock().expect("scenario slot").take().expect("claimed exactly once");
+                *slots[i].lock().expect("result slot") = Some(run_one(scenario));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("result slot").expect("every scenario executed"))
+        .collect()
+}

@@ -30,6 +30,7 @@ pub struct Zipf {
     // Precomputed constants of the rejection-inversion method.
     h_x1: f64,
     h_half: f64,
+    h_n: f64,
     s: f64,
 }
 
@@ -45,9 +46,10 @@ impl Zipf {
         assert!(theta.is_finite() && theta >= 0.0, "exponent must be finite and non-negative");
         let h_x1 = Self::h_integral(1.5, theta) - 1.0;
         let h_half = Self::h_integral(0.5, theta);
+        let h_n = Self::h_integral(n as f64 + 0.5, theta);
         let s = 2.0
             - Self::h_integral_inverse(Self::h_integral(2.5, theta) - Self::h(2.0, theta), theta);
-        Self { n, theta, h_x1, h_half, s }
+        Self { n, theta, h_x1, h_half, h_n, s }
     }
 
     /// The universe size.
@@ -68,7 +70,7 @@ impl Zipf {
             return rng.gen_range(0..self.n);
         }
         let h_x1 = self.h_x1;
-        let h_n = Self::h_integral(self.n as f64 + 0.5, self.theta);
+        let h_n = self.h_n;
         loop {
             let u = h_n + rng.gen::<f64>() * (h_x1 - h_n);
             let x = Self::h_integral_inverse(u, self.theta);

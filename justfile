@@ -55,6 +55,24 @@ bench-resilience *ARGS:
 bench-topk *ARGS:
     cargo bench -p fafnir-bench --bench topk -- {{ARGS}}
 
+# Criterion micro-bench of the reduction kernels (combine_into per
+# operator x accumulator width). No JSON artifact: criterion keeps its own
+# baselines under target/criterion.
+bench-kernels *ARGS:
+    cargo bench -p fafnir-bench --bench reduce_kernels -- {{ARGS}}
+
+# Profile the serving data plane with gprofng (binutils). Samples the
+# profile_sim example looping the serving-bench workload and prints the
+# hottest functions. Relative percentages are trustworthy even where the
+# absolute totals undersample; compare profiles at the same LOOPS.
+# Requires `gprofng` on PATH.
+profile loops="10":
+    cargo build --release -p fafnir-serve --examples
+    rm -rf /tmp/fafnir-profile.er
+    LOOPS={{loops}} gprofng collect app -o /tmp/fafnir-profile.er \
+        target/release/examples/profile_sim
+    gprofng display text -functions /tmp/fafnir-profile.er | head -40
+
 # A quick look at the resilience layer: a straggler replica with hedging.
 serve-faults-demo:
     cargo run --release -p fafnir-cli -- serve --rate 2e6 --policy deadline \
