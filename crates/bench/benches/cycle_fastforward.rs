@@ -72,7 +72,7 @@ fn tree_inputs(batch: &Batch, ranks: usize) -> Vec<Vec<fafnir_core::Item>> {
         .map(|index| GatheredVector {
             index,
             rank: index.value() as usize % ranks,
-            value: vec![index.value() as f32; 4],
+            value: vec![index.value() as f32; 4].into(),
             ready_ns: TREE_SPREAD_NS * f64::from(index.value()),
         })
         .collect();

@@ -106,7 +106,7 @@ fn buffer_sizing_validation() {
         .map(|index| GatheredVector {
             index,
             rank: index.value() as usize % 8,
-            value: vec![1.0; 16],
+            value: vec![1.0; 16].into(),
             ready_ns: 60.0,
         })
         .collect();

@@ -26,7 +26,7 @@ fn bench_pe_process(c: &mut Criterion) {
         .map(|index| GatheredVector {
             index,
             rank: index.value() as usize % 2,
-            value: vec![1.0; 128],
+            value: vec![1.0; 128].into(),
             ready_ns: 0.0,
         })
         .collect();
@@ -49,7 +49,7 @@ fn bench_tree_run(c: &mut Criterion) {
         .map(|index| GatheredVector {
             index,
             rank: index.value() as usize % 32,
-            value: vec![1.0; 128],
+            value: vec![1.0; 128].into(),
             ready_ns: 0.0,
         })
         .collect();
@@ -133,7 +133,7 @@ fn bench_cycle_sim(c: &mut Criterion) {
         .map(|index| GatheredVector {
             index,
             rank: index.value() as usize % 8,
-            value: vec![1.0; 16],
+            value: vec![1.0; 16].into(),
             ready_ns: 50.0,
         })
         .collect();

@@ -44,6 +44,7 @@ pub fn usage() -> String {
                 --universe U (2000) --ranks R (32) --seed X (7)\n\
                 --engine fafnir|recnmp|tensordimm|no-ndp|all (all)\n\
                 --op sum|mean|max|min|argmax|topk:K (sum)\n\
+                --memory-model cycle|fast (cycle)\n\
                 --no-dedup --interactive --refresh\n\
        serve    simulate an online lookup service in virtual time\n\
                 --rate QPS (1e6) --process poisson|onoff (poisson)\n\
@@ -53,6 +54,7 @@ pub fn usage() -> String {
                 --shed drop-newest|drop-oldest (drop-newest)\n\
                 --skew S (1.15) --universe U (2000) --query-len Q (16)\n\
                 --op sum|mean|max|min|argmax|topk:K (sum)\n\
+                --memory-model cycle|fast (cycle)\n\
                 --seed X (7) --no-dedup --json\n\
                 --faults none|outage|slow:MULT:N|crash:MTTF:MTTR (none)\n\
                 --timeout-ns T (off) --retries R (0) --backoff-ns B (1000)\n\
@@ -77,6 +79,13 @@ pub fn usage() -> String {
 /// Parses `--op sum|mean|max|min|argmax|topk:K` (default `sum`).
 fn reduce_op(args: &ParsedArgs) -> Result<fafnir_core::ReduceOp, ArgError> {
     args.get_or("op", "sum").parse().map_err(|e| ArgError(format!("flag `--op`: {e}")))
+}
+
+/// Parses `--memory-model cycle|fast` (default `cycle`).
+fn memory_model(args: &ParsedArgs) -> Result<fafnir_mem::MemoryModelKind, ArgError> {
+    args.get_or("memory-model", "cycle")
+        .parse()
+        .map_err(|e| ArgError(format!("flag `--memory-model`: {e}")))
 }
 
 fn memory_for(ranks: usize) -> Result<MemoryConfig, ArgError> {
@@ -111,6 +120,7 @@ fn lookup(args: &ParsedArgs) -> Result<String, ArgError> {
 
     let mut mem = memory_for(ranks)?;
     mem.refresh = args.switch("refresh");
+    mem.model = memory_model(args)?;
     let source = StripedSource::new(mem.topology, 128);
     let popularity =
         if skew == 0.0 { Popularity::Uniform } else { Popularity::Zipf { exponent: skew } };
@@ -265,7 +275,8 @@ fn serve(args: &ParsedArgs) -> Result<String, ArgError> {
         hedge_ns,
     };
 
-    let mem = MemoryConfig::ddr4_2400_4ch();
+    let mut mem = MemoryConfig::ddr4_2400_4ch();
+    mem.model = memory_model(args)?;
     let engine_config = FafnirConfig {
         dedup: !args.switch("no-dedup"),
         op: reduce_op(args)?,
@@ -484,7 +495,7 @@ fn anatomy(args: &ParsedArgs) -> Result<String, ArgError> {
         .map(|index| GatheredVector {
             index,
             rank: index.value() as usize % ranks,
-            value: vec![1.0; 8],
+            value: vec![1.0; 8].into(),
             ready_ns: 60.0 + f64::from(index.value() % 64),
         })
         .collect();
@@ -696,6 +707,36 @@ mod tests {
         assert!(run_line("serve --op bogus --duration-queries 8").unwrap_err().0.contains("--op"));
         let duplicate = crate::args::ParsedArgs::parse(
             "lookup --op sum --op mean".split_whitespace().map(String::from),
+        )
+        .unwrap_err();
+        assert!(duplicate.0.contains("twice"), "{duplicate}");
+    }
+
+    #[test]
+    fn memory_model_flag_selects_fast_mode_on_lookup_and_serve() {
+        let fast =
+            run_line("lookup --batch 4 --query-len 4 --engine fafnir --memory-model fast").unwrap();
+        assert!(fast.contains("fafnir"), "{fast}");
+        let serve = run_line(
+            "serve --rate 2e6 --policy deadline --max-wait-ns 20000 \
+             --workers 2 --duration-queries 48 --seed 7 --memory-model fast",
+        )
+        .unwrap();
+        assert!(serve.contains("p50"), "{serve}");
+    }
+
+    #[test]
+    fn memory_model_flag_rejects_garbage_and_duplicates() {
+        for bad in ["bogus", "FAST", "cycle-accurate"] {
+            let error = run_line(&format!("lookup --memory-model {bad}")).unwrap_err();
+            assert!(error.0.contains("--memory-model"), "`{bad}` must fail on flag: {error}");
+        }
+        assert!(run_line("serve --memory-model bogus --duration-queries 8")
+            .unwrap_err()
+            .0
+            .contains("--memory-model"));
+        let duplicate = crate::args::ParsedArgs::parse(
+            "lookup --memory-model fast --memory-model cycle".split_whitespace().map(String::from),
         )
         .unwrap_err();
         assert!(duplicate.0.contains("twice"), "{duplicate}");

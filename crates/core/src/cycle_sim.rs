@@ -149,7 +149,7 @@ struct SimSetup {
 ///     .map(|index| GatheredVector {
 ///         index,
 ///         rank: index.value() as usize % 4,
-///         value: vec![1.0; 4],
+///         value: vec![1.0; 4].into(),
 ///         ready_ns: 0.0,
 ///     })
 ///     .collect();
@@ -714,7 +714,7 @@ mod tests {
             .map(|index| GatheredVector {
                 index,
                 rank: index.value() as usize % ranks,
-                value: vec![index.value() as f32; 4],
+                value: vec![index.value() as f32; 4].into(),
                 ready_ns: 50.0 + 5.0 * f64::from(index.value()),
             })
             .collect();
@@ -836,7 +836,7 @@ mod tests {
                     .map(|index| GatheredVector {
                         index,
                         rank: index.value() as usize % 8,
-                        value: vec![index.value() as f32; 4],
+                        value: vec![index.value() as f32; 4].into(),
                         ready_ns: 50.0 + 5.0 * f64::from(index.value()),
                     })
                     .collect();

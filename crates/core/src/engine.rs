@@ -474,7 +474,7 @@ impl GatherEngine for FafnirEngine {
             .map(|completion| GatheredVector {
                 index: completion.index,
                 rank: completion.rank,
-                value: source.value_of(plan.resolve(completion.index)),
+                value: source.shared_value_of(plan.resolve(completion.index)),
                 ready_ns: completion.ready_ns,
             })
             .collect();
@@ -482,36 +482,51 @@ impl GatherEngine for FafnirEngine {
 
         let operator = self.active_operator();
         let ranks = self.mem_config.topology.total_ranks();
-        let inputs = build_rank_inputs_with(
-            batch,
-            &gathered_vectors,
-            ranks,
-            self.config.ranks_per_leaf,
-            &*operator,
-            &self.config.pe_timing,
-        );
-        let run = match self.backend {
-            TreeBackend::EventTimed => self.tree.run_with(&*operator, inputs),
-            TreeBackend::CycleStepped { fifo_capacity } => {
-                let cycle = CycleTree::new(&self.tree, fifo_capacity)
-                    .map_err(|e| FafnirError::InvalidConfig(e.to_string()))?
-                    .run_with(&*operator, inputs)
-                    .map_err(|e| FafnirError::InvalidConfig(e.to_string()))?;
-                TreeRun {
-                    outputs: cycle.outputs,
-                    // The cycle model does not track per-PE op counters;
-                    // they read as zero under this backend.
-                    stats: TreeStats {
-                        levels: self.tree.levels(),
-                        pes: self.tree.pe_count(),
-                        completion_ns: cycle.completion_ns,
-                        max_buffer_items: cycle.max_occupancy as u64,
-                        ..TreeStats::default()
-                    },
+        // Under the fast memory model the item-level tree simulation is
+        // replaced by the fast-functional fold: bit-identical outputs,
+        // analytic per-query timing (see `crate::fastpath`). The
+        // cycle-stepped backend and unsupported leaf shapes keep the full
+        // simulation — the fast *memory* pricing still applies upstream.
+        let (mut outputs, completions, tree_stats) = if self.mem_config.model
+            == fafnir_mem::MemoryModelKind::Fast
+            && self.backend == TreeBackend::EventTimed
+            && crate::fastpath::supports_shape(self.config.ranks_per_leaf)
+        {
+            let fast =
+                crate::fastpath::fast_reduce(batch, &gathered_vectors, &self.tree, &*operator);
+            (fast.outputs, fast.completion_ns, fast.stats)
+        } else {
+            let inputs = build_rank_inputs_with(
+                batch,
+                &gathered_vectors,
+                ranks,
+                self.config.ranks_per_leaf,
+                &*operator,
+                &self.config.pe_timing,
+            );
+            let run = match self.backend {
+                TreeBackend::EventTimed => self.tree.run_with(&*operator, inputs),
+                TreeBackend::CycleStepped { fifo_capacity } => {
+                    let cycle = CycleTree::new(&self.tree, fifo_capacity)
+                        .map_err(|e| FafnirError::InvalidConfig(e.to_string()))?
+                        .run_with(&*operator, inputs)
+                        .map_err(|e| FafnirError::InvalidConfig(e.to_string()))?;
+                    TreeRun {
+                        outputs: cycle.outputs,
+                        // The cycle model does not track per-PE op counters;
+                        // they read as zero under this backend.
+                        stats: TreeStats {
+                            levels: self.tree.levels(),
+                            pes: self.tree.pe_count(),
+                            completion_ns: cycle.completion_ns,
+                            max_buffer_items: cycle.max_occupancy as u64,
+                            ..TreeStats::default()
+                        },
+                    }
                 }
-            }
+            };
+            (run.query_outputs_with(&*operator), run.query_completion_ns(), run.stats)
         };
-        let mut outputs = run.query_outputs_with(&*operator);
         if outputs.len() != batch.len() {
             return Err(FafnirError::InvalidBatch(format!(
                 "{} of {} queries did not complete in the tree",
@@ -520,8 +535,7 @@ impl GatherEngine for FafnirEngine {
             )));
         }
         // Root → host link transfer per output.
-        let per_query_ns: Vec<(QueryId, f64)> = run
-            .query_completion_ns()
+        let per_query_ns: Vec<(QueryId, f64)> = completions
             .iter()
             .map(|&(query, t)| (query, t + self.config.link_transfer_ns()))
             .collect();
@@ -543,7 +557,7 @@ impl GatherEngine for FafnirEngine {
                 bytes_from_dram: gathered.memory.bytes_transferred,
                 bytes_to_host: (batch.len() * self.config.vector_bytes()) as u64,
             },
-            tree: run.stats,
+            tree: tree_stats,
         })
     }
 }
@@ -763,6 +777,83 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Clones a memory config with the fast model selected.
+    fn fast_mem(mut config: MemoryConfig) -> MemoryConfig {
+        config.model = fafnir_mem::MemoryModelKind::Fast;
+        config
+    }
+
+    #[test]
+    fn fast_memory_model_outputs_are_byte_identical_for_every_operator() {
+        let source = source();
+        let batch = Batch::from_index_sets([
+            indexset![1, 2, 5, 6],
+            indexset![3, 4, 5],
+            indexset![7, 40, 100, 260],
+            indexset![5],
+        ]);
+        for op in [
+            ReduceOp::Sum,
+            ReduceOp::Mean,
+            ReduceOp::Max,
+            ReduceOp::Min,
+            ReduceOp::ArgMax,
+            ReduceOp::TopK { k: 2 },
+        ] {
+            let config = FafnirConfig { op, ..FafnirConfig::paper_default() };
+            let cycle = FafnirEngine::new(config, MemoryConfig::ddr4_2400_4ch()).unwrap();
+            let fast = FafnirEngine::new(config, fast_mem(MemoryConfig::ddr4_2400_4ch())).unwrap();
+            let cycle_result = cycle.lookup(&batch, &source).unwrap();
+            let fast_result = fast.lookup(&batch, &source).unwrap();
+            assert_eq!(cycle_result.outputs.len(), fast_result.outputs.len(), "{op}");
+            for ((qa, a), (qb, b)) in cycle_result.outputs.iter().zip(&fast_result.outputs) {
+                assert_eq!(qa, qb, "{op}");
+                assert_eq!(
+                    a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    b.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "{op} query {qa}"
+                );
+            }
+            // Data movement is identical — only timing fidelity changed.
+            assert_eq!(cycle_result.traffic, fast_result.traffic, "{op}");
+            assert_eq!(cycle_result.memory.reads, fast_result.memory.reads, "{op}");
+            assert!(fast_result.latency.total_ns > 0.0, "{op}");
+        }
+    }
+
+    #[test]
+    fn fast_memory_model_matches_cycle_outputs_without_dedup() {
+        let source = source();
+        let mut config = FafnirConfig::paper_default();
+        config.dedup = false;
+        let batch = Batch::from_index_sets([indexset![1, 2, 5], indexset![3, 4, 5]]);
+        let cycle = FafnirEngine::new(config, MemoryConfig::ddr4_2400_4ch()).unwrap();
+        let fast = FafnirEngine::new(config, fast_mem(MemoryConfig::ddr4_2400_4ch())).unwrap();
+        let cycle_result = cycle.lookup(&batch, &source).unwrap();
+        let fast_result = fast.lookup(&batch, &source).unwrap();
+        assert_eq!(cycle_result.outputs, fast_result.outputs);
+        assert_eq!(fast_result.traffic.vectors_read, 6);
+    }
+
+    #[test]
+    fn fast_memory_under_the_cycle_backend_keeps_the_real_tree() {
+        // Fast memory + cycle-stepped tree: the fast fold must not engage
+        // (it only replaces the event-timed tree); outputs still agree.
+        let source = source();
+        let config = FafnirConfig::paper_default();
+        let batch = Batch::from_index_sets([indexset![1, 2, 5, 6], indexset![3, 4, 5]]);
+        let fast = FafnirEngine::new(config, fast_mem(MemoryConfig::ddr4_2400_4ch()))
+            .unwrap()
+            .with_backend(TreeBackend::CycleStepped { fifo_capacity: 32 });
+        let cycle = FafnirEngine::new(config, MemoryConfig::ddr4_2400_4ch()).unwrap();
+        let fast_result = fast.lookup(&batch, &source).unwrap();
+        let cycle_result = cycle.lookup(&batch, &source).unwrap();
+        assert_eq!(fast_result.outputs, cycle_result.outputs);
+        // The cycle-stepped backend zeroes op counters; the fast fold would
+        // have reported reduces — proving the real tree ran.
+        assert_eq!(fast_result.tree.ops.reduces, 0);
     }
 
     #[test]

@@ -143,7 +143,7 @@ mod tests {
             .map(|index| GatheredVector {
                 index,
                 rank: index.value() as usize % ranks,
-                value: vec![index.value() as f32; 4],
+                value: vec![index.value() as f32; 4].into(),
                 ready_ns: f64::from(index.value()),
             })
             .collect();
@@ -174,7 +174,7 @@ mod tests {
             .map(|index| GatheredVector {
                 index,
                 rank: index.value() as usize % 8,
-                value: vec![1.0; 4],
+                value: vec![1.0; 4].into(),
                 ready_ns: 0.0,
             })
             .collect();

@@ -28,8 +28,8 @@ pub struct GatheredVector {
     pub index: VectorIndex,
     /// Global rank the vector was read from.
     pub rank: usize,
-    /// The vector's value.
-    pub value: Vec<f32>,
+    /// The vector's value, shared with the embedding source's store.
+    pub value: std::sync::Arc<[f32]>,
     /// Nanosecond timestamp of the read's completion.
     pub ready_ns: f64,
 }
@@ -149,7 +149,7 @@ mod tests {
             .map(|&i| GatheredVector {
                 index: VectorIndex(i),
                 rank: i as usize % ranks,
-                value: vec![i as f32; 4],
+                value: vec![i as f32; 4].into(),
                 ready_ns: 10.0 * f64::from(i),
             })
             .collect()

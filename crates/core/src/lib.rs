@@ -49,6 +49,8 @@
 //! * [`pe`], [`timing`] — the PE microarchitecture and Table IV latencies.
 //! * [`tree`], [`inject`] — the reduction tree and leaf-input construction.
 //! * [`exec_trace`] — per-PE firing traces with a waterfall renderer.
+//! * [`fastpath`] — the fast-functional fold used under the `Fast` memory
+//!   model: bit-identical outputs, analytic timing.
 //! * [`cycle_sim`] — cycle-stepped simulation with finite FIFOs and
 //!   backpressure, validating Table I's sizing dynamically.
 //! * [`pipeline`] — the staged [`GatherEngine`] trait (preprocess → gather
@@ -69,6 +71,7 @@ pub mod cycle_sim;
 pub mod engine;
 pub mod error;
 pub mod exec_trace;
+pub mod fastpath;
 pub mod index;
 pub mod inject;
 pub mod item;

@@ -7,8 +7,10 @@
 //!    software batch into hardware-sized batches, deduplication (or its
 //!    absence), and address resolution. Produces one [`MemoryPlan`] per
 //!    hardware batch; nothing has touched DRAM yet.
-//! 2. **gather** — execute a plan's DRAM reads on a [`MemorySystem`] and
-//!    report per-read completion times ([`GatherOutcome`]).
+//! 2. **gather** — execute a plan's DRAM reads on a memory model (the
+//!    cycle-accurate [`fafnir_mem::MemorySystem`] or the fast-functional
+//!    model, per [`fafnir_mem::MemoryConfig::model`]) and report per-read
+//!    completion times ([`GatherOutcome`]).
 //! 3. **reduce** — engine-specific reduction of the gathered vectors (the
 //!    FAFNIR tree, a DIMM adder chain, or host cores) into a
 //!    [`LookupResult`].
@@ -18,13 +20,13 @@
 //! `lookup_stream` (all plans' reads share one memory system so inter-batch
 //! contention is *measured*, Sec. IV-A) on top of those stages, plus
 //! [`ParallelBatchDriver`] which executes independent hardware batches on
-//! worker threads — each with its own [`MemorySystem`] and reduction state —
+//! worker threads — each with its own memory system and reduction state —
 //! and merges deterministically in submission order.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use fafnir_mem::{Location, MemoryConfig, MemoryStats, MemorySystem, RequestId};
+use fafnir_mem::{AnyMemory, Location, MemoryConfig, MemoryModel, MemoryStats, RequestId};
 
 use crate::batch::Batch;
 use crate::engine::{LatencyBreakdown, LookupResult, StreamResult, TrafficStats};
@@ -126,13 +128,13 @@ impl GatherOutcome {
 
 /// Submits every read of `plan` to `memory`, returning the request ids in
 /// plan order.
-fn submit_plan(memory: &mut MemorySystem, plan: &MemoryPlan) -> Vec<RequestId> {
+fn submit_plan(memory: &mut impl MemoryModel, plan: &MemoryPlan) -> Vec<RequestId> {
     plan.reads.iter().map(|read| memory.submit_read_at(read.location, read.bytes, 0)).collect()
 }
 
 /// Reads back the completion times for `ids` (plan order) from `memory`.
 fn collect_completions(
-    memory: &MemorySystem,
+    memory: &impl MemoryModel,
     plan: &MemoryPlan,
     ids: &[RequestId],
     config: &MemoryConfig,
@@ -165,10 +167,12 @@ fn scaled_stats(mut stats: MemoryStats, scale: u64) -> MemoryStats {
     stats
 }
 
-/// Runs one plan's reads on a dedicated memory system.
+/// Runs one plan's reads on a dedicated memory system, built from the
+/// model named by `plan.sim_config.model` (cycle-accurate or
+/// fast-functional).
 #[must_use]
 pub fn gather_plan(plan: &MemoryPlan) -> GatherOutcome {
-    let mut memory = MemorySystem::new(plan.sim_config);
+    let mut memory = AnyMemory::new(plan.sim_config);
     let ids = submit_plan(&mut memory, plan);
     let idle_cycle = memory.run_until_idle();
     GatherOutcome {
@@ -344,7 +348,7 @@ pub trait GatherEngine {
 
         // Gather phase: plan k's reads enqueue before plan k+1's, so the
         // scheduler overlaps them within its window.
-        let mut memory = MemorySystem::new(shared_config);
+        let mut memory = AnyMemory::new(shared_config);
         let ids: Vec<Vec<RequestId>> =
             plans.iter().map(|plan| submit_plan(&mut memory, plan.as_ref())).collect();
         let idle_cycle = memory.run_until_idle();
@@ -393,7 +397,7 @@ pub struct ParallelStreamResult {
 }
 
 /// Executes independent hardware batches concurrently, each on its own
-/// [`MemorySystem`] and reduction state, merging results deterministically
+/// memory system and reduction state, merging results deterministically
 /// in submission order.
 ///
 /// This models a *replicated* deployment — `threads` independent

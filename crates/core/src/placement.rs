@@ -9,6 +9,8 @@
 //! [`StripedSource`] reproduces the paper's rank-striped mapping with
 //! deterministic synthetic values.
 
+use std::collections::HashMap;
+
 use fafnir_mem::{Location, Topology};
 
 use crate::index::VectorIndex;
@@ -21,6 +23,17 @@ pub trait EmbeddingSource {
 
     /// The vector's value, `vector_dim` elements long.
     fn value_of(&self, index: VectorIndex) -> Vec<f32>;
+
+    /// The vector's value behind a shared handle.
+    ///
+    /// The engine materializes one value per unique index per batch; sources
+    /// that keep values resident (caches, in-memory tables) can override
+    /// this to hand out a reference-counted view instead of copying
+    /// `vector_dim * 4` bytes per lookup. The returned slice must be
+    /// element-identical to [`EmbeddingSource::value_of`].
+    fn shared_value_of(&self, index: VectorIndex) -> std::sync::Arc<[f32]> {
+        self.value_of(index).into()
+    }
 
     /// Elements per vector.
     fn vector_dim(&self) -> usize;
@@ -79,16 +92,44 @@ impl EmbeddingSource for StripedSource {
     }
 
     fn value_of(&self, index: VectorIndex) -> Vec<f32> {
-        // Deterministic, cheap, and distinct per index: a small LCG seeded by
-        // the index, one step per element.
-        let mut state = u64::from(index.value()).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
-        (0..self.vector_dim)
-            .map(|_| {
-                state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
-                // Map the top bits into a small, well-conditioned float.
-                ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
-            })
-            .collect()
+        self.shared_value_of(index).to_vec()
+    }
+
+    fn shared_value_of(&self, index: VectorIndex) -> std::sync::Arc<[f32]> {
+        // Values depend only on (index, dim), so memoizing is functionally
+        // transparent; it removes the dominant cost of serving workloads,
+        // which revisit a small hot set every batch. Per-thread, capped:
+        // no locks on the shared-engine path, bounded memory on huge-
+        // universe sweeps (past the cap, misses just compute). Handing out
+        // `Arc` views means a cache hit is a refcount bump, not a 512 B
+        // copy.
+        type ValueCache = HashMap<(u64, usize), std::sync::Arc<[f32]>>;
+        thread_local! {
+            static CACHE: std::cell::RefCell<ValueCache> =
+                std::cell::RefCell::new(HashMap::new());
+        }
+        const CACHE_CAP: usize = 32_768;
+        let key = (u64::from(index.value()), self.vector_dim);
+        CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some(value) = cache.get(&key) {
+                return std::sync::Arc::clone(value);
+            }
+            // Deterministic, cheap, and distinct per index: a small LCG
+            // seeded by the index, one step per element.
+            let mut state = key.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            let value: std::sync::Arc<[f32]> = (0..self.vector_dim)
+                .map(|_| {
+                    state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+                    // Map the top bits into a small, well-conditioned float.
+                    ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+                })
+                .collect();
+            if cache.len() < CACHE_CAP {
+                cache.insert(key, std::sync::Arc::clone(&value));
+            }
+            value
+        })
     }
 
     fn vector_dim(&self) -> usize {

@@ -180,6 +180,15 @@ pub trait ReduceOperator: Send + Sync + std::fmt::Debug {
         value.to_vec()
     }
 
+    /// Whether [`ReduceOperator::lift`] is a plain copy of the value.
+    /// When true, callers holding a gathered vector may use it directly as
+    /// a singleton accumulator (borrowed, bit-identical) instead of
+    /// cloning through `lift` — the fast-functional fold exploits this.
+    /// Keep false (the default) whenever `lift` transforms the value.
+    fn lift_is_identity(&self) -> bool {
+        false
+    }
+
     /// Combines accumulator `other` into `acc`.
     ///
     /// # Panics
@@ -200,6 +209,10 @@ pub struct SumOperator;
 impl ReduceOperator for SumOperator {
     fn name(&self) -> String {
         "sum".into()
+    }
+
+    fn lift_is_identity(&self) -> bool {
+        true
     }
 
     fn combine_into(&self, acc: &mut [f32], other: &[f32]) {
@@ -259,6 +272,10 @@ impl ReduceOperator for MaxOperator {
         "max".into()
     }
 
+    fn lift_is_identity(&self) -> bool {
+        true
+    }
+
     fn combine_into(&self, acc: &mut [f32], other: &[f32]) {
         max_assign_unrolled(acc, other);
     }
@@ -271,6 +288,10 @@ pub struct MinOperator;
 impl ReduceOperator for MinOperator {
     fn name(&self) -> String {
         "min".into()
+    }
+
+    fn lift_is_identity(&self) -> bool {
+        true
     }
 
     fn combine_into(&self, acc: &mut [f32], other: &[f32]) {

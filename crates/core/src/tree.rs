@@ -365,7 +365,7 @@ mod tests {
             .map(|index| crate::inject::GatheredVector {
                 index,
                 rank: index.value() as usize % ranks,
-                value: vec![index.value() as f32; dim],
+                value: vec![index.value() as f32; dim].into(),
                 ready_ns: 0.0,
             })
             .collect();
@@ -543,7 +543,7 @@ mod tests {
             .map(|index| crate::inject::GatheredVector {
                 index,
                 rank: index.value() as usize % 32,
-                value: vec![index.value() as f32; 4],
+                value: vec![index.value() as f32; 4].into(),
                 ready_ns: 0.0,
             })
             .collect();
@@ -572,7 +572,7 @@ mod tests {
             .map(|index| crate::inject::GatheredVector {
                 index,
                 rank: index.value() as usize % 32,
-                value: vec![index.value() as f32; 4],
+                value: vec![index.value() as f32; 4].into(),
                 ready_ns: 0.0,
             })
             .collect();

@@ -6,6 +6,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::address::AddressMapping;
+use crate::model::MemoryModelKind;
 
 /// Physical organization of the memory system.
 ///
@@ -341,6 +342,12 @@ pub struct MemoryConfig {
     /// extra cycles per read)`. Models a slow-binned or thermally throttled
     /// device; `None` disables it.
     pub straggler: Option<(usize, usize, u64)>,
+    /// Which timing model serves this configuration: the cycle-accurate
+    /// reference (default) or the fast-functional analytic model. Selecting
+    /// `Fast` changes *timing fidelity only* — functional outputs stay
+    /// byte-identical (see [`crate::FastFunctionalMemory`]).
+    #[serde(default)]
+    pub model: MemoryModelKind,
 }
 
 impl MemoryConfig {
@@ -366,6 +373,7 @@ impl MemoryConfig {
             ndp_data_path: false,
             refresh: false,
             straggler: None,
+            model: MemoryModelKind::Cycle,
         }
     }
 
@@ -405,6 +413,7 @@ impl MemoryConfig {
             ndp_data_path: true,
             refresh: false,
             straggler: None,
+            model: MemoryModelKind::Cycle,
         }
     }
 

@@ -1,0 +1,739 @@
+//! Pluggable memory timing models: the cycle-accurate reference and a
+//! fast-functional analytic model.
+//!
+//! [`MemoryModel`] abstracts the submit/drain/completion surface that the
+//! gather pipeline drives, with two implementations:
+//!
+//! * [`crate::MemorySystem`] — the cycle-accurate, command-level simulator
+//!   (unchanged; still the calibrated reference), and
+//! * [`FastFunctionalMemory`] — an analytic model that skips per-command
+//!   DRAM state entirely and prices each read **eagerly at submit time**
+//!   from the address stream: per-bank row-buffer hit/miss/conflict runs,
+//!   bank and data-bus pacing ceilings, an optional straggler-rank penalty,
+//!   and refresh as a bandwidth derate factor.
+//!
+//! The fast model keeps *functional* behaviour identical (every request
+//! completes, burst counts and byte counts match the cycle model exactly)
+//! while timing is approximate: it ignores FR-FCFS reordering, tFAW/tRRD
+//! activation pacing and bus turnaround, which is precisely the divergence
+//! the `fafnir-serve` calibration harness measures and gates. Selection is
+//! explicit via [`MemoryConfig::model`] — never a silent change to the
+//! calibrated paths (see DESIGN.md §13).
+
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::address::Location;
+use crate::config::{MemoryConfig, PagePolicy};
+use crate::request::{AccessKind, Completion, Request, RequestId};
+use crate::stats::MemoryStats;
+use crate::system::MemorySystem;
+use crate::Cycle;
+
+/// Which memory timing model a [`MemoryConfig`] selects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum MemoryModelKind {
+    /// The cycle-accurate command-level simulator (the default and the
+    /// calibrated reference).
+    #[default]
+    Cycle,
+    /// The fast-functional analytic model ([`FastFunctionalMemory`]).
+    Fast,
+}
+
+impl std::fmt::Display for MemoryModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemoryModelKind::Cycle => write!(f, "cycle"),
+            MemoryModelKind::Fast => write!(f, "fast"),
+        }
+    }
+}
+
+impl FromStr for MemoryModelKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "cycle" => Ok(MemoryModelKind::Cycle),
+            "fast" => Ok(MemoryModelKind::Fast),
+            other => Err(format!("unknown memory model `{other}` (cycle|fast)")),
+        }
+    }
+}
+
+/// The submit/drain/completion surface shared by every memory timing model.
+///
+/// The gather pipeline in `fafnir-core` is written against this trait, so a
+/// plan can run on the cycle-accurate [`MemorySystem`] or on
+/// [`FastFunctionalMemory`] without structural changes; only completion
+/// *times* (and timing-derived stats) may differ between implementations.
+pub trait MemoryModel {
+    /// The configuration this model was built with.
+    fn config(&self) -> &MemoryConfig;
+
+    /// Current simulation cycle (for the fast model: the latest priced
+    /// completion).
+    fn now(&self) -> Cycle;
+
+    /// Submits a request, returning the id to look up its [`Completion`].
+    fn submit(&mut self, request: Request) -> RequestId;
+
+    /// Submits a read of `bytes` at a device location.
+    fn submit_read_at(&mut self, location: Location, bytes: usize, arrival: Cycle) -> RequestId;
+
+    /// Drains all outstanding work; returns the cycle the system went idle.
+    fn run_until_idle(&mut self) -> Cycle;
+
+    /// Completion record for a finished request.
+    fn completion(&self, id: RequestId) -> Option<&Completion>;
+
+    /// Drains and returns all recorded completions, ordered by
+    /// `(finish_cycle, id)`.
+    fn take_completions(&mut self) -> Vec<Completion>;
+
+    /// Whether no work is outstanding.
+    fn is_idle(&self) -> bool;
+
+    /// Zeroes accumulated counters at an experiment-phase boundary.
+    fn reset_stats(&mut self);
+
+    /// Accumulated counters.
+    fn stats(&self) -> MemoryStats;
+}
+
+impl MemoryModel for MemorySystem {
+    fn config(&self) -> &MemoryConfig {
+        MemorySystem::config(self)
+    }
+
+    fn now(&self) -> Cycle {
+        MemorySystem::now(self)
+    }
+
+    fn submit(&mut self, request: Request) -> RequestId {
+        MemorySystem::submit(self, request)
+    }
+
+    fn submit_read_at(&mut self, location: Location, bytes: usize, arrival: Cycle) -> RequestId {
+        MemorySystem::submit_read_at(self, location, bytes, arrival)
+    }
+
+    fn run_until_idle(&mut self) -> Cycle {
+        MemorySystem::run_until_idle(self)
+    }
+
+    fn completion(&self, id: RequestId) -> Option<&Completion> {
+        MemorySystem::completion(self, id)
+    }
+
+    fn take_completions(&mut self) -> Vec<Completion> {
+        MemorySystem::take_completions(self)
+    }
+
+    fn is_idle(&self) -> bool {
+        MemorySystem::is_idle(self)
+    }
+
+    fn reset_stats(&mut self) {
+        MemorySystem::reset_stats(self);
+    }
+
+    fn stats(&self) -> MemoryStats {
+        MemorySystem::stats(self)
+    }
+}
+
+/// Per-bank analytic state: the open row and pacing clocks.
+#[derive(Debug, Clone, Copy)]
+struct FastBank {
+    /// Row left open by the last access (`u64::MAX` = closed).
+    open_row: u64,
+    /// Earliest cycle the bank can issue its next column access.
+    free: Cycle,
+    /// Issue cycle of the last access (drives the adaptive-close estimate).
+    last_issue: Cycle,
+}
+
+impl FastBank {
+    const CLOSED: u64 = u64::MAX;
+}
+
+/// Per-data-path backlog estimate feeding `max_queue_depth`.
+#[derive(Debug, Clone, Copy, Default)]
+struct FastBacklog {
+    drained_by: Cycle,
+    queued: u64,
+}
+
+/// The fast-functional memory model: analytic per-read pricing, no
+/// per-command DRAM state.
+///
+/// Every burst is priced **eagerly at submit time**, in submission order:
+///
+/// ```text
+/// issue  = max(arrival, bank.free, bus.free) + row_delay
+/// finish = issue + tCL + tBL (+ straggler penalty on the faulted rank)
+/// ```
+///
+/// where `row_delay` is 0 for a row-buffer hit, `tRCD` for a miss and
+/// `tRP + tRCD` for a conflict, estimated from consecutive-row runs in the
+/// per-bank address stream. The bank clock advances by `tCCD_L` per burst
+/// and the data-path clock (per rank under `ndp_data_path`, per channel
+/// otherwise) by `max(tBL, tCCD_S)` — the two bandwidth ceilings. Closed
+/// page policy makes every access a miss plus a precharge; the adaptive
+/// policy closes a row whose bank sat idle past the timeout. When refresh
+/// is enabled, reported times are derated by `tREFI / (tREFI − tRFC)`
+/// instead of simulating REF commands.
+///
+/// Functional counters (`reads`, `bytes_transferred`, burst outcome counts)
+/// are computed from the same address stream the cycle model sees, so they
+/// match it exactly on identical submissions.
+#[derive(Debug, Clone)]
+pub struct FastFunctionalMemory {
+    config: MemoryConfig,
+    banks: Vec<FastBank>,
+    /// One pacing clock per data path (rank or channel).
+    buses: Vec<Cycle>,
+    backlogs: Vec<FastBacklog>,
+    completions: Vec<Completion>,
+    /// `completions[i]` holds the request with id `id_base + i`.
+    id_base: u64,
+    next_id: u64,
+    now: Cycle,
+    stats: MemoryStats,
+}
+
+impl FastFunctionalMemory {
+    /// Builds a fast-functional model of `config`'s system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (same contract as
+    /// [`MemorySystem::new`]).
+    #[must_use]
+    pub fn new(config: MemoryConfig) -> Self {
+        config.validate().unwrap_or_else(|e| panic!("invalid memory config: {e}"));
+        let topology = config.topology;
+        let banks = topology.total_ranks() * topology.banks_per_rank();
+        let buses = if config.ndp_data_path { topology.total_ranks() } else { topology.channels };
+        Self {
+            config,
+            banks: vec![FastBank { open_row: FastBank::CLOSED, free: 0, last_issue: 0 }; banks],
+            buses: vec![0; buses],
+            backlogs: vec![FastBacklog::default(); buses],
+            completions: Vec::new(),
+            id_base: 0,
+            next_id: 0,
+            now: 0,
+            stats: MemoryStats::new(),
+        }
+    }
+
+    /// Refresh bandwidth derate: the fraction of time a rank is *not*
+    /// blocked by REF is `(tREFI − tRFC) / tREFI`, so completion times
+    /// stretch by the reciprocal.
+    fn derate(&self, cycle: Cycle) -> Cycle {
+        if !self.config.refresh {
+            return cycle;
+        }
+        let t = self.config.timing;
+        // validate() guarantees tREFI > tRFC.
+        (cycle as f64 * t.tREFI as f64 / (t.tREFI - t.tRFC) as f64).round() as Cycle
+    }
+
+    /// Index of the data path serving `location`.
+    fn bus_index(&self, location: Location) -> usize {
+        if self.config.ndp_data_path {
+            location.global_rank(&self.config.topology)
+        } else {
+            location.channel
+        }
+    }
+
+    /// Prices one burst, returning `(issue, finish)` in underated cycles.
+    fn price_burst(
+        &mut self,
+        location: Location,
+        kind: AccessKind,
+        arrival: Cycle,
+    ) -> (Cycle, Cycle) {
+        let topology = self.config.topology;
+        let t = self.config.timing;
+        let bank_index = location.global_rank(&topology) * topology.banks_per_rank()
+            + location.flat_bank(&topology);
+        let bus_index = self.bus_index(location);
+        let bank = self.banks[bank_index];
+        let ready = arrival.max(bank.free).max(self.buses[bus_index]);
+
+        // Row-buffer outcome from the consecutive-row run in this bank's
+        // stream, with the adaptive policy's idle-timeout close estimated
+        // from the gap since the bank's last access.
+        let open_row = match self.config.page_policy {
+            PagePolicy::Adaptive { timeout }
+                if bank.open_row != FastBank::CLOSED
+                    && ready.saturating_sub(bank.last_issue) > timeout =>
+            {
+                self.stats.precharges += 1; // the speculative close
+                FastBank::CLOSED
+            }
+            _ => bank.open_row,
+        };
+        let row = location.row as u64;
+        let row_delay = if open_row == row {
+            self.stats.row_hits += 1;
+            0
+        } else if open_row == FastBank::CLOSED {
+            self.stats.row_misses += 1;
+            self.stats.activations += 1;
+            t.tRCD
+        } else {
+            self.stats.row_conflicts += 1;
+            self.stats.activations += 1;
+            self.stats.precharges += 1;
+            t.tRP + t.tRCD
+        };
+
+        let issue = ready + row_delay;
+        let access_latency = match kind {
+            AccessKind::Read => t.tCL,
+            AccessKind::Write => t.tCWL,
+        };
+        let straggler = match (kind, self.config.straggler) {
+            (AccessKind::Read, Some((channel, rank, extra)))
+                if channel == location.channel && rank == location.rank =>
+            {
+                extra
+            }
+            _ => 0,
+        };
+        let finish = issue + access_latency + t.tBL + straggler;
+
+        let next_open = match self.config.page_policy {
+            PagePolicy::Closed => {
+                self.stats.precharges += 1; // auto-precharge after the access
+                FastBank::CLOSED
+            }
+            _ => row,
+        };
+        self.banks[bank_index] =
+            FastBank { open_row: next_open, free: issue + t.tCCD_L, last_issue: issue };
+        self.buses[bus_index] = issue + t.tBL.max(t.tCCD_S);
+
+        match kind {
+            AccessKind::Read => self.stats.reads += 1,
+            AccessKind::Write => self.stats.writes += 1,
+        }
+        self.stats.bytes_transferred += topology.burst_bytes as u64;
+
+        // Backlog estimate for `max_queue_depth`: bursts stack up on a data
+        // path until its pacing clock passes their arrival.
+        let backlog = &mut self.backlogs[bus_index];
+        if arrival >= backlog.drained_by {
+            backlog.queued = 0;
+        }
+        backlog.queued += 1;
+        backlog.drained_by = backlog.drained_by.max(finish);
+        self.stats.max_queue_depth = self.stats.max_queue_depth.max(backlog.queued);
+
+        (issue, finish)
+    }
+}
+
+impl MemoryModel for FastFunctionalMemory {
+    fn config(&self) -> &MemoryConfig {
+        &self.config
+    }
+
+    fn now(&self) -> Cycle {
+        self.now
+    }
+
+    fn submit(&mut self, request: Request) -> RequestId {
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+        let bursts = request.bursts(self.config.topology.burst_bytes);
+        let mut start = Cycle::MAX;
+        let mut finish = 0;
+        let (hits0, misses0, conflicts0) =
+            (self.stats.row_hits, self.stats.row_misses, self.stats.row_conflicts);
+        for burst in 0..bursts {
+            let addr = crate::PhysAddr(
+                request.addr.0 + burst as u64 * self.config.topology.burst_bytes as u64,
+            );
+            let location = self.config.mapping.decode(addr, &self.config.topology);
+            let (issue, end) = self.price_burst(location, request.kind, request.arrival);
+            start = start.min(issue);
+            finish = finish.max(end);
+        }
+        let completion = Completion {
+            id,
+            finish_cycle: self.derate(finish),
+            start_cycle: self.derate(start),
+            row_hits: (self.stats.row_hits - hits0) as u32,
+            row_misses: (self.stats.row_misses - misses0) as u32,
+            row_conflicts: (self.stats.row_conflicts - conflicts0) as u32,
+        };
+        self.now = self.now.max(completion.finish_cycle);
+        self.stats.requests_completed += 1;
+        self.stats.total_request_latency += completion.finish_cycle.saturating_sub(request.arrival);
+        self.completions.push(completion);
+        id
+    }
+
+    fn submit_read_at(&mut self, location: Location, bytes: usize, arrival: Cycle) -> RequestId {
+        let addr = self.config.mapping.encode(location, &self.config.topology);
+        self.submit(Request::read(addr.0, bytes).at(arrival))
+    }
+
+    /// Eager pricing means every submitted request is already complete;
+    /// this just reports the latest completion.
+    fn run_until_idle(&mut self) -> Cycle {
+        self.now
+    }
+
+    fn completion(&self, id: RequestId) -> Option<&Completion> {
+        let slot = id.0.checked_sub(self.id_base)?;
+        self.completions.get(slot as usize)
+    }
+
+    fn take_completions(&mut self) -> Vec<Completion> {
+        let mut all = std::mem::take(&mut self.completions);
+        all.sort_by_key(|c| (c.finish_cycle, c.id));
+        self.id_base = self.next_id;
+        all
+    }
+
+    fn is_idle(&self) -> bool {
+        true
+    }
+
+    fn reset_stats(&mut self) {
+        let detail = || "0 pending requests (eager pricing completes at submit)".to_string();
+        self.stats.reset_phase(true, detail);
+    }
+
+    fn stats(&self) -> MemoryStats {
+        let mut stats = self.stats;
+        if self.config.refresh && self.now > 0 {
+            // One REF per rank per tREFI of (derated) elapsed time.
+            stats.refreshes =
+                self.config.topology.total_ranks() as u64 * (self.now / self.config.timing.tREFI);
+        }
+        stats
+    }
+}
+
+/// Static dispatch over the two memory models, selected by
+/// [`MemoryConfig::model`].
+#[derive(Debug, Clone)]
+pub enum AnyMemory {
+    /// The cycle-accurate reference.
+    Cycle(MemorySystem),
+    /// The fast-functional analytic model.
+    Fast(FastFunctionalMemory),
+}
+
+impl AnyMemory {
+    /// Builds the model named by `config.model`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    #[must_use]
+    pub fn new(config: MemoryConfig) -> Self {
+        match config.model {
+            MemoryModelKind::Cycle => AnyMemory::Cycle(MemorySystem::new(config)),
+            MemoryModelKind::Fast => AnyMemory::Fast(FastFunctionalMemory::new(config)),
+        }
+    }
+}
+
+macro_rules! delegate {
+    ($self:ident, $m:ident, $($arg:expr),*) => {
+        match $self {
+            AnyMemory::Cycle(inner) => inner.$m($($arg),*),
+            AnyMemory::Fast(inner) => inner.$m($($arg),*),
+        }
+    };
+}
+
+impl MemoryModel for AnyMemory {
+    fn config(&self) -> &MemoryConfig {
+        delegate!(self, config,)
+    }
+
+    fn now(&self) -> Cycle {
+        delegate!(self, now,)
+    }
+
+    fn submit(&mut self, request: Request) -> RequestId {
+        delegate!(self, submit, request)
+    }
+
+    fn submit_read_at(&mut self, location: Location, bytes: usize, arrival: Cycle) -> RequestId {
+        delegate!(self, submit_read_at, location, bytes, arrival)
+    }
+
+    fn run_until_idle(&mut self) -> Cycle {
+        delegate!(self, run_until_idle,)
+    }
+
+    fn completion(&self, id: RequestId) -> Option<&Completion> {
+        delegate!(self, completion, id)
+    }
+
+    fn take_completions(&mut self) -> Vec<Completion> {
+        delegate!(self, take_completions,)
+    }
+
+    fn is_idle(&self) -> bool {
+        delegate!(self, is_idle,)
+    }
+
+    fn reset_stats(&mut self) {
+        delegate!(self, reset_stats,)
+    }
+
+    fn stats(&self) -> MemoryStats {
+        delegate!(self, stats,)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> MemoryConfig {
+        MemoryConfig::ddr4_2400_1ch_1rank()
+    }
+
+    fn read_at(
+        memory: &mut FastFunctionalMemory,
+        bank: usize,
+        row: usize,
+        column: usize,
+        bytes: usize,
+    ) -> RequestId {
+        let location =
+            Location { channel: 0, rank: 0, bank_group: bank / 4, bank: bank % 4, row, column };
+        memory.submit_read_at(location, bytes, 0)
+    }
+
+    #[test]
+    fn kind_parses_and_displays_round_trip() {
+        assert_eq!("cycle".parse::<MemoryModelKind>().unwrap(), MemoryModelKind::Cycle);
+        assert_eq!("fast".parse::<MemoryModelKind>().unwrap(), MemoryModelKind::Fast);
+        assert_eq!(MemoryModelKind::Fast.to_string(), "fast");
+        assert_eq!(MemoryModelKind::default(), MemoryModelKind::Cycle);
+        let err = "warp".parse::<MemoryModelKind>().unwrap_err();
+        assert!(err.contains("unknown memory model `warp`"), "{err}");
+        assert!(err.contains("cycle|fast"), "{err}");
+    }
+
+    #[test]
+    fn every_preset_defaults_to_the_cycle_model() {
+        // Backward compatibility: configurations that predate the field
+        // must select the calibrated reference model.
+        for preset in [
+            MemoryConfig::default(),
+            MemoryConfig::ddr4_2400_4ch(),
+            MemoryConfig::ddr5_4800_4ch(),
+            MemoryConfig::hbm2_32pc(),
+            MemoryConfig::ddr4_2400_1ch_1rank(),
+            MemoryConfig::with_total_ranks(8),
+        ] {
+            assert_eq!(preset.model, MemoryModelKind::Cycle);
+        }
+    }
+
+    #[test]
+    fn vector_read_latency_matches_cycle_bounds() {
+        // Mirror of the cycle model's activation-plus-burst-stream bound: a
+        // single 512 B read must land inside the same envelope the cycle
+        // tests pin ([tRCD + tCL + 7·tCCD_L + tBL, +3·tCCD_L]).
+        let mut memory = FastFunctionalMemory::new(config());
+        let id = read_at(&mut memory, 0, 5, 0, 512);
+        let t = config().timing;
+        let finish = memory.completion(id).unwrap().finish_cycle;
+        let floor = t.tRCD + t.tCL + 7 * t.tCCD_L.min(t.tBL) + t.tBL;
+        assert!(finish >= floor, "finish {finish} below floor {floor}");
+        assert!(finish <= floor + 3 * t.tCCD_L, "finish {finish} too slow");
+        // 8 bursts: one miss activation, seven row hits.
+        let stats = memory.stats();
+        assert_eq!(stats.reads, 8);
+        assert_eq!(stats.row_misses, 1);
+        assert_eq!(stats.row_hits, 7);
+        assert_eq!(stats.activations, 1);
+        assert_eq!(stats.bytes_transferred, 512);
+    }
+
+    #[test]
+    fn reads_to_same_bank_different_rows_serialize() {
+        let mut memory = FastFunctionalMemory::new(config());
+        let a = read_at(&mut memory, 0, 0, 0, 64);
+        let b = read_at(&mut memory, 0, 1, 0, 64);
+        let fa = memory.completion(a).unwrap().finish_cycle;
+        let fb = memory.completion(b).unwrap().finish_cycle;
+        assert!(fb > fa + config().timing.tRP, "conflict must pay the precharge: {fa} vs {fb}");
+        assert_eq!(memory.stats().row_conflicts, 1);
+        assert_eq!(memory.stats().precharges, 1);
+    }
+
+    #[test]
+    fn reads_to_different_channels_are_fully_parallel() {
+        let mut memory = FastFunctionalMemory::new(MemoryConfig::ddr4_2400_4ch());
+        let ids: Vec<RequestId> = (0..4)
+            .map(|channel| {
+                let location =
+                    Location { channel, rank: 0, bank_group: 0, bank: 0, row: 0, column: 0 };
+                memory.submit_read_at(location, 512, 0)
+            })
+            .collect();
+        let finishes: Vec<Cycle> =
+            ids.iter().map(|&id| memory.completion(id).unwrap().finish_cycle).collect();
+        assert!(finishes.iter().all(|&f| f == finishes[0]), "channels must not interfere");
+    }
+
+    #[test]
+    fn straggler_rank_slows_only_its_own_reads() {
+        let mut fast_config = MemoryConfig::ddr4_2400_4ch();
+        fast_config.straggler = Some((0, 0, 500));
+        let mut memory = FastFunctionalMemory::new(fast_config);
+        let slow = memory.submit_read_at(
+            Location { channel: 0, rank: 0, bank_group: 0, bank: 0, row: 0, column: 0 },
+            64,
+            0,
+        );
+        let ok = memory.submit_read_at(
+            Location { channel: 1, rank: 0, bank_group: 0, bank: 0, row: 0, column: 0 },
+            64,
+            0,
+        );
+        let slow_finish = memory.completion(slow).unwrap().finish_cycle;
+        let ok_finish = memory.completion(ok).unwrap().finish_cycle;
+        assert!(slow_finish >= ok_finish + 400, "straggler: {slow_finish} vs {ok_finish}");
+    }
+
+    #[test]
+    fn closed_page_precharges_every_access() {
+        let mut closed = config();
+        closed.page_policy = PagePolicy::Closed;
+        let mut memory = FastFunctionalMemory::new(closed);
+        let open_finish = {
+            let mut open = FastFunctionalMemory::new(config());
+            let id = read_at(&mut open, 0, 0, 0, 512);
+            open.completion(id).unwrap().finish_cycle
+        };
+        let id = read_at(&mut memory, 0, 0, 0, 512);
+        let stats = memory.stats();
+        assert_eq!(stats.row_hits, 0, "closed page never hits");
+        assert_eq!(stats.row_misses, 8);
+        assert_eq!(stats.precharges, 8);
+        assert!(memory.completion(id).unwrap().finish_cycle > open_finish);
+    }
+
+    #[test]
+    fn refresh_derates_completion_times() {
+        let mut with_refresh = config();
+        with_refresh.refresh = true;
+        let mut slow = FastFunctionalMemory::new(with_refresh);
+        let mut fast = FastFunctionalMemory::new(config());
+        let a = read_at(&mut slow, 0, 0, 0, 512);
+        let b = read_at(&mut fast, 0, 0, 0, 512);
+        let derated = slow.completion(a).unwrap().finish_cycle;
+        let plain = fast.completion(b).unwrap().finish_cycle;
+        assert!(derated > plain, "refresh must stretch time: {derated} vs {plain}");
+        let t = config().timing;
+        let expected = (plain as f64 * t.tREFI as f64 / (t.tREFI - t.tRFC) as f64).round();
+        assert_eq!(derated, expected as u64);
+    }
+
+    #[test]
+    fn burst_counters_match_the_cycle_model_exactly() {
+        // Same address stream through both models: the functional counters
+        // (bursts, bytes, outcome totals) must agree exactly — only timing
+        // may differ.
+        let mut cycle = MemorySystem::new(config());
+        let mut fast = FastFunctionalMemory::new(config());
+        for i in 0..16u64 {
+            let addr = i * 512;
+            cycle.submit(Request::read(addr, 512));
+            fast.submit(Request::read(addr, 512));
+        }
+        cycle.run_until_idle();
+        fast.run_until_idle();
+        let c = MemoryModel::stats(&cycle);
+        let f = fast.stats();
+        assert_eq!(f.reads, c.reads);
+        assert_eq!(f.bytes_transferred, c.bytes_transferred);
+        assert_eq!(f.requests_completed, c.requests_completed);
+        assert_eq!(
+            f.row_hits + f.row_misses + f.row_conflicts,
+            c.row_hits + c.row_misses + c.row_conflicts,
+            "every burst has exactly one outcome"
+        );
+    }
+
+    #[test]
+    fn take_completions_drains_in_finish_order_and_rebases_ids() {
+        let mut memory = FastFunctionalMemory::new(config());
+        let a = read_at(&mut memory, 0, 0, 0, 64);
+        let b = read_at(&mut memory, 1, 0, 0, 64);
+        let drained = memory.take_completions();
+        assert_eq!(drained.len(), 2);
+        assert!(drained.windows(2).all(|w| w[0].finish_cycle <= w[1].finish_cycle));
+        assert!(memory.completion(a).is_none());
+        assert!(memory.completion(b).is_none());
+        let c = read_at(&mut memory, 0, 0, 0, 64);
+        assert!(memory.completion(c).is_some(), "ids rebase after draining");
+    }
+
+    #[test]
+    fn reset_stats_zeroes_via_the_shared_path() {
+        let mut memory = FastFunctionalMemory::new(config());
+        let _ = read_at(&mut memory, 0, 0, 0, 512);
+        assert!(memory.stats().reads > 0);
+        memory.reset_stats();
+        assert_eq!(MemoryModel::stats(&memory), MemoryStats::default());
+        assert!(memory.is_idle());
+    }
+
+    #[test]
+    fn any_memory_dispatches_on_the_config_field() {
+        let mut fast_config = MemoryConfig::ddr4_2400_4ch();
+        fast_config.model = MemoryModelKind::Fast;
+        assert!(matches!(AnyMemory::new(fast_config), AnyMemory::Fast(_)));
+        assert!(matches!(AnyMemory::new(MemoryConfig::ddr4_2400_4ch()), AnyMemory::Cycle(_)));
+        // The trait surface works through the enum.
+        let mut memory = AnyMemory::new(fast_config);
+        let id = memory.submit(Request::read(0, 512));
+        memory.run_until_idle();
+        assert!(memory.completion(id).is_some());
+        assert_eq!(MemoryModel::stats(&memory).reads, 8);
+    }
+
+    #[test]
+    fn adaptive_timeout_closes_idle_rows() {
+        let mut adaptive = config();
+        adaptive.page_policy = PagePolicy::Adaptive { timeout: 10 };
+        let mut memory = FastFunctionalMemory::new(adaptive);
+        // Same row twice, but the second read arrives long after the bank
+        // went idle: the row was speculatively closed, so it re-activates.
+        let a = {
+            let location =
+                Location { channel: 0, rank: 0, bank_group: 0, bank: 0, row: 7, column: 0 };
+            memory.submit_read_at(location, 64, 0)
+        };
+        let _ = a;
+        let location = Location { channel: 0, rank: 0, bank_group: 0, bank: 0, row: 7, column: 1 };
+        let b = memory.submit_read_at(location, 64, 1_000);
+        let stats = memory.stats();
+        assert_eq!(stats.row_misses, 2, "both accesses re-activate");
+        assert_eq!(stats.row_hits, 0);
+        let t = config().timing;
+        let finish = memory.completion(b).unwrap().finish_cycle;
+        assert_eq!(finish, 1_000 + t.tRCD + t.tCL + t.tBL);
+    }
+}

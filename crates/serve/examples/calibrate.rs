@@ -1,0 +1,31 @@
+//! Runs the standard fast-vs-cycle calibration matrix and prints the
+//! per-scenario and per-metric divergence, then gates the result against
+//! the recorded tolerance envelope. This is the tool that produced the
+//! envelope in [`fafnir_serve::ToleranceEnvelope::recorded`] and the
+//! divergence table in EXPERIMENTS.md; rerun it after any change to the
+//! fast-functional model.
+use fafnir_serve::{calibrate, CalibrationMatrix, ToleranceEnvelope};
+
+fn main() {
+    let report = calibrate(&CalibrationMatrix::standard()).expect("calibration runs");
+    for row in &report.scenarios {
+        let cells: Vec<String> = row
+            .metrics
+            .iter()
+            .map(|d| {
+                format!("{} {:+6.2}%", d.name, (d.fast - d.cycle) / d.cycle.max(1e-12) * 100.0)
+            })
+            .collect();
+        println!("{:<44} {}", row.label, cells.join("  "));
+    }
+    println!("\n{}", report.render_table());
+    match report.check(&ToleranceEnvelope::recorded()) {
+        Ok(()) => println!("within the recorded envelope"),
+        Err(violations) => {
+            for v in &violations {
+                eprintln!("VIOLATION {v}");
+            }
+            std::process::exit(1);
+        }
+    }
+}

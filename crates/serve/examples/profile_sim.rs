@@ -22,7 +22,11 @@ use fafnir_workloads::query::{BatchGenerator, Popularity};
 use std::time::Instant;
 
 fn main() {
-    let mem = fafnir_mem::MemoryConfig::ddr4_2400_4ch();
+    // MEMORY_MODEL=cycle|fast selects the timing model (`just profile mode`).
+    let mut mem = fafnir_mem::MemoryConfig::ddr4_2400_4ch();
+    if let Ok(model) = std::env::var("MEMORY_MODEL") {
+        mem.model = model.parse().expect("MEMORY_MODEL must be cycle|fast");
+    }
     let engine = FafnirEngine::paper_default(mem).unwrap();
     let source = StripedSource::new(mem.topology, 128);
 
@@ -113,7 +117,7 @@ fn main() {
             .map(|c| fafnir_core::inject::GatheredVector {
                 index: c.index,
                 rank: c.rank,
-                value: source.value_of(p.resolve(c.index)),
+                value: source.shared_value_of(p.resolve(c.index)),
                 ready_ns: c.ready_ns,
             })
             .collect();

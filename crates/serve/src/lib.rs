@@ -63,6 +63,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod calibrate;
 pub mod policy;
 pub mod queue;
 pub mod record;
@@ -70,6 +71,10 @@ pub mod report;
 pub mod scenarios;
 pub mod sim;
 
+pub use calibrate::{
+    calibrate, CalibrationMatrix, CalibrationReport, FaultSpec, MetricDelta, ScenarioDivergence,
+    ToleranceEnvelope,
+};
 pub use policy::BatchPolicy;
 pub use queue::ShedPolicy;
 pub use record::{AttemptRecord, AttemptResult, BatchRecord, QueryOutcome, QueryRecord};

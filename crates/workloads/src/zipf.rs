@@ -23,7 +23,7 @@ use rand::Rng;
 /// let sample = zipf.sample(&mut rng);
 /// assert!(sample < 1_000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Zipf {
     n: u64,
     theta: f64,
@@ -32,6 +32,13 @@ pub struct Zipf {
     h_half: f64,
     h_n: f64,
     s: f64,
+    // Acceptance thresholds `h_integral(k + 0.5) − h(k)` for k = 1..=n,
+    // computed with the same expressions the sample loop would evaluate,
+    // so table lookups are bit-identical to computing on the fly — the
+    // draw sequence for a given seed cannot change. Empty for universes
+    // past the cap (the loop falls back to direct evaluation) to bound
+    // the table at 512 KiB.
+    accept: std::sync::Arc<[f64]>,
 }
 
 impl Zipf {
@@ -49,7 +56,15 @@ impl Zipf {
         let h_n = Self::h_integral(n as f64 + 0.5, theta);
         let s = 2.0
             - Self::h_integral_inverse(Self::h_integral(2.5, theta) - Self::h(2.0, theta), theta);
-        Self { n, theta, h_x1, h_half, h_n, s }
+        const TABLE_CAP: u64 = 65_536;
+        let accept: std::sync::Arc<[f64]> = if theta > 0.0 && n <= TABLE_CAP {
+            (1..=n)
+                .map(|k| Self::h_integral(k as f64 + 0.5, theta) - Self::h(k as f64, theta))
+                .collect()
+        } else {
+            std::sync::Arc::new([])
+        };
+        Self { n, theta, h_x1, h_half, h_n, s, accept }
     }
 
     /// The universe size.
@@ -76,9 +91,13 @@ impl Zipf {
             let x = Self::h_integral_inverse(u, self.theta);
             let mut k = (x + 0.5).floor() as u64;
             k = k.clamp(1, self.n);
-            if (k as f64 - x) <= self.s
-                || u >= Self::h_integral(k as f64 + 0.5, self.theta) - Self::h(k as f64, self.theta)
-            {
+            let threshold = match self.accept.get(k as usize - 1) {
+                Some(&cached) => cached,
+                None => {
+                    Self::h_integral(k as f64 + 0.5, self.theta) - Self::h(k as f64, self.theta)
+                }
+            };
+            if (k as f64 - x) <= self.s || u >= threshold {
                 return k - 1;
             }
         }

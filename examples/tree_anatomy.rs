@@ -38,7 +38,7 @@ fn main() -> Result<(), fafnir_core::FafnirError> {
         .map(|index| GatheredVector {
             index,
             rank: index.value() as usize % ranks,
-            value: vec![f32::from(index.value() as u16); 8],
+            value: vec![f32::from(index.value() as u16); 8].into(),
             ready_ns: 60.0 + 10.0 * f64::from(index.value()),
         })
         .collect();

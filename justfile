@@ -55,6 +55,18 @@ bench-resilience *ARGS:
 bench-topk *ARGS:
     cargo bench -p fafnir-bench --bench topk -- {{ARGS}}
 
+# Regenerate the fast-functional memory measurement (BENCH_fast_memory.json):
+# simulator throughput under the cycle-accurate vs fast memory model, plus
+# the smoke calibration matrix gated against the recorded tolerance
+# envelope. Same guard: `just bench-fastmem --force` accepts a regression.
+bench-fastmem *ARGS:
+    cargo bench -p fafnir-bench --bench fast_memory -- {{ARGS}}
+
+# Run the full (24-scenario) cross-mode calibration matrix and check it
+# against the recorded envelope; exits non-zero on a violation.
+calibrate:
+    cargo run --release -p fafnir-serve --example calibrate
+
 # Criterion micro-bench of the reduction kernels (combine_into per
 # operator x accumulator width). No JSON artifact: criterion keeps its own
 # baselines under target/criterion.
@@ -65,12 +77,13 @@ bench-kernels *ARGS:
 # profile_sim example looping the serving-bench workload and prints the
 # hottest functions. Relative percentages are trustworthy even where the
 # absolute totals undersample; compare profiles at the same LOOPS.
-# Requires `gprofng` on PATH.
-profile loops="10":
+# Requires `gprofng` on PATH. `mode` selects the memory model
+# (`just profile fast` profiles the fast-functional data plane).
+profile mode="cycle" loops="10":
     cargo build --release -p fafnir-serve --examples
     rm -rf /tmp/fafnir-profile.er
-    LOOPS={{loops}} gprofng collect app -o /tmp/fafnir-profile.er \
-        target/release/examples/profile_sim
+    MEMORY_MODEL={{mode}} LOOPS={{loops}} gprofng collect app \
+        -o /tmp/fafnir-profile.er target/release/examples/profile_sim
     gprofng display text -functions /tmp/fafnir-profile.er | head -40
 
 # A quick look at the resilience layer: a straggler replica with hedging.

@@ -82,7 +82,7 @@ fn inputs_for(batch: &Batch, ranks: usize) -> Vec<Vec<fafnir_core::Item>> {
         .map(|index| GatheredVector {
             index,
             rank: index.value() as usize % ranks,
-            value: vec![index.value() as f32; 4],
+            value: vec![index.value() as f32; 4].into(),
             ready_ns: 40.0 + 3.0 * f64::from(index.value()),
         })
         .collect();
