@@ -20,6 +20,7 @@ pub fn run(args: &ParsedArgs) -> Result<String, ArgError> {
     match args.command.as_str() {
         "lookup" => lookup(args),
         "serve" => serve(args),
+        "cluster" => cluster(args),
         "spmv" => spmv(args),
         "report" => report(args),
         "trace" => trace(args),
@@ -61,6 +62,14 @@ pub fn usage() -> String {
                 --hedge-ns H (off)\n\
                 --sweep-windows W1,W2,... (run one deadline-policy scenario\n\
                 per window) --scenario-threads N (1, sweep parallelism)\n\
+       cluster  serve against a sharded multi-tree cluster\n\
+                --shards N (4) --strategy tablewise|rowhash|rowrange (rowrange)\n\
+                --rows-per-table R (250, tablewise) --replicate-hot F (0)\n\
+                --router roundrobin|leastloaded (roundrobin)\n\
+                --rate QPS (1e6) --workers K (4) --duration-queries N (512)\n\
+                --skew S (1.15) --universe U (2000) --query-len Q (16)\n\
+                --op sum|mean|max|min|argmax|topk:K (sum)\n\
+                --memory-model cycle|fast (cycle) --seed X (7) --json\n\
        spmv     run y = A·x on FAFNIR and the Two-Step baseline\n\
                 --gen uniform|rmat|banded|spd (rmat) --rows N (4096)\n\
                 --density D (0.01, uniform) --nnz N (rows*8, rmat)\n\
@@ -275,15 +284,13 @@ fn serve(args: &ParsedArgs) -> Result<String, ArgError> {
         hedge_ns,
     };
 
-    let mut mem = MemoryConfig::ddr4_2400_4ch();
-    mem.model = memory_model(args)?;
     let engine_config = FafnirConfig {
         dedup: !args.switch("no-dedup"),
         op: reduce_op(args)?,
         ..FafnirConfig::paper_default()
     };
-    let engine = FafnirEngine::new(engine_config, mem).map_err(|e| ArgError(e.to_string()))?;
-    let source = StripedSource::new(mem.topology, 128);
+    let (engine, source) = fafnir_serve::worker_setup(engine_config, memory_model(args)?)
+        .map_err(|e| ArgError(e.to_string()))?;
     let popularity =
         if skew == 0.0 { Popularity::Uniform } else { Popularity::Zipf { exponent: skew } };
     let traffic = || BatchGenerator::new(popularity, universe, query_len, seed);
@@ -341,6 +348,86 @@ fn serve(args: &ParsedArgs) -> Result<String, ArgError> {
         }
         Ok(out)
     }
+}
+
+fn cluster(args: &ParsedArgs) -> Result<String, ArgError> {
+    use fafnir_cluster::{cluster_setup, ClusterReport, RouterPolicy};
+    use fafnir_core::{ShardPlan, ShardStrategy, VectorIndex};
+    use fafnir_serve::{simulate_resilient, ResilienceConfig, ServeConfig, ServeReport};
+    use fafnir_workloads::arrival::ArrivalProcess;
+    use fafnir_workloads::Zipf;
+
+    let shards: usize = args.number_or("shards", 4)?;
+    if shards == 0 {
+        return Err(ArgError("--shards must be at least 1 (a cluster needs a shard)".into()));
+    }
+    let universe: u64 = args.number_or("universe", 2_000)?;
+    if universe == 0 || universe > u64::from(u32::MAX) {
+        return Err(ArgError(format!("--universe must be in 1..=2^32-1, got {universe}")));
+    }
+    let strategy = match args.get_or("strategy", "rowrange") {
+        "tablewise" => {
+            let rows_per_table: u32 = args.number_or("rows-per-table", 250)?;
+            if rows_per_table == 0 {
+                return Err(ArgError("--rows-per-table must be non-zero".into()));
+            }
+            ShardStrategy::TableWise { rows_per_table }
+        }
+        "rowhash" => ShardStrategy::RowHash,
+        "rowrange" => ShardStrategy::RowRange { universe: universe as u32 },
+        other => {
+            return Err(ArgError(format!(
+                "unknown strategy `{other}` (tablewise|rowhash|rowrange)"
+            )))
+        }
+    };
+    let replicate_hot: f64 = args.number_or("replicate-hot", 0.0)?;
+    if !(0.0..=1.0).contains(&replicate_hot) {
+        return Err(ArgError(format!(
+            "--replicate-hot must be a fraction in 0..=1, got {replicate_hot}"
+        )));
+    }
+    let policy: RouterPolicy = args
+        .get_or("router", "roundrobin")
+        .parse()
+        .map_err(|e| ArgError(format!("flag `--router`: {e}")))?;
+
+    let rate: f64 = args.number_or("rate", 1e6)?;
+    let workers: usize = args.number_or("workers", 4)?;
+    let queries: usize = args.number_or("duration-queries", 512)?;
+    let seed: u64 = args.number_or("seed", 7)?;
+    let skew: f64 = args.number_or("skew", 1.15)?;
+    let query_len: usize = args.number_or("query-len", 16)?;
+
+    let mut plan = ShardPlan::new(shards, strategy);
+    if replicate_hot > 0.0 {
+        let hot = Zipf::new(universe, skew.max(0.0)).hot_set(replicate_hot);
+        plan = plan.with_replicated(hot.into_iter().map(|id| VectorIndex(id as u32)));
+    }
+    let engine_config = FafnirConfig {
+        dedup: !args.switch("no-dedup"),
+        op: reduce_op(args)?,
+        ..FafnirConfig::paper_default()
+    };
+    let (cluster, source) = cluster_setup(engine_config, memory_model(args)?, plan, policy)
+        .map_err(|e| ArgError(e.to_string()))?;
+
+    let config = ServeConfig {
+        arrivals: ArrivalProcess::Poisson { rate_qps: rate },
+        workers,
+        queries,
+        seed,
+        ..ServeConfig::default()
+    };
+    let resilience = ResilienceConfig::none(workers);
+    let popularity =
+        if skew == 0.0 { Popularity::Uniform } else { Popularity::Zipf { exponent: skew } };
+    let mut traffic = BatchGenerator::new(popularity, universe, query_len, seed);
+    let outcome = simulate_resilient(&cluster, &source, &mut traffic, &config, &resilience)
+        .map_err(|e| ArgError(e.to_string()))?;
+    let serve_report = ServeReport::with_resilience(&config, &resilience, &outcome);
+    let report = ClusterReport::new(&cluster, &serve_report);
+    Ok(if args.switch("json") { report.to_json() } else { report.render_table() })
 }
 
 /// Parses the `--faults` grammar: `none`, `outage`, `slow:MULT:N`
@@ -740,6 +827,89 @@ mod tests {
         )
         .unwrap_err();
         assert!(duplicate.0.contains("twice"), "{duplicate}");
+    }
+
+    #[test]
+    fn cluster_reports_sharding_and_latency_metrics() {
+        let out = run_line(
+            "cluster --shards 4 --strategy rowrange --rate 2e6 --workers 2 \
+             --duration-queries 48 --seed 7 --memory-model fast",
+        )
+        .unwrap();
+        for needle in ["shards", "rowrange", "shard imbalance", "cross-shard traffic", "p50"] {
+            assert!(out.contains(needle), "missing `{needle}` in:\n{out}");
+        }
+    }
+
+    #[test]
+    fn cluster_runs_under_both_memory_models_and_json_is_deterministic() {
+        for model in ["cycle", "fast"] {
+            let line = format!(
+                "cluster --shards 2 --strategy rowhash --replicate-hot 0.02 --rate 2e6 \
+                 --workers 2 --duration-queries 32 --seed 7 --memory-model {model} --json"
+            );
+            let first = run_line(&line).unwrap();
+            let second = run_line(&line).unwrap();
+            assert_eq!(first, second, "--memory-model {model}");
+            assert!(first.contains("\"strategy\": \"rowhash\""), "{first}");
+        }
+    }
+
+    #[test]
+    fn shards_flag_rejects_zero_garbage_and_duplicates() {
+        let zero = run_line("cluster --shards 0 --duration-queries 8").unwrap_err();
+        assert!(zero.0.contains("--shards"), "{zero}");
+        assert!(zero.0.contains("at least 1"), "{zero}");
+        for bad in ["bogus", "-1", "1.5"] {
+            let error = run_line(&format!("cluster --shards {bad}")).unwrap_err();
+            assert!(error.0.contains("shards"), "`{bad}` must fail on --shards: {error}");
+        }
+        let duplicate = crate::args::ParsedArgs::parse(
+            "cluster --shards 2 --shards 4".split_whitespace().map(String::from),
+        )
+        .unwrap_err();
+        assert!(duplicate.0.contains("twice"), "{duplicate}");
+    }
+
+    #[test]
+    fn strategy_flag_rejects_garbage_and_duplicates() {
+        for bad in ["bogus", "ROWHASH", "range"] {
+            let error = run_line(&format!("cluster --strategy {bad}")).unwrap_err();
+            assert!(error.0.contains("strategy"), "`{bad}` must fail on --strategy: {error}");
+        }
+        let duplicate = crate::args::ParsedArgs::parse(
+            "cluster --strategy rowhash --strategy rowrange".split_whitespace().map(String::from),
+        )
+        .unwrap_err();
+        assert!(duplicate.0.contains("twice"), "{duplicate}");
+    }
+
+    #[test]
+    fn replicate_hot_flag_rejects_garbage_and_duplicates() {
+        for bad in ["bogus", "-0.5", "1.5", "2"] {
+            let error = run_line(&format!("cluster --replicate-hot {bad}")).unwrap_err();
+            assert!(
+                error.0.contains("replicate-hot"),
+                "`{bad}` must fail on --replicate-hot: {error}"
+            );
+        }
+        let duplicate = crate::args::ParsedArgs::parse(
+            "cluster --replicate-hot 0.1 --replicate-hot 0.2".split_whitespace().map(String::from),
+        )
+        .unwrap_err();
+        assert!(duplicate.0.contains("twice"), "{duplicate}");
+    }
+
+    #[test]
+    fn router_flag_rejects_garbage() {
+        let error = run_line("cluster --router bogus").unwrap_err();
+        assert!(error.0.contains("--router"), "{error}");
+        let ok = run_line(
+            "cluster --shards 2 --router leastloaded --duration-queries 16 \
+             --workers 2 --memory-model fast",
+        )
+        .unwrap();
+        assert!(ok.contains("leastloaded"), "{ok}");
     }
 
     #[test]

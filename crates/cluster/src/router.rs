@@ -1,0 +1,222 @@
+//! Placement-aware query routing.
+//!
+//! The router splits each query of a batch into per-shard sub-queries
+//! touching only indices the shard owns. For rows that exist on exactly one
+//! shard there is nothing to decide; for *replicated* rows it runs a
+//! CODA-style marginal-cost model: every owner charges the same DRAM read
+//! (one vector), so the only cost difference is data movement — routing the
+//! row to a shard the query already touches adds nothing, while opening a
+//! new shard adds one partial-accumulator transfer to the merge stage.
+//! Shards already touched by the query therefore always win; ties among
+//! equally-cheap owners fall to the [`RouterPolicy`].
+//!
+//! Routing is a pure function of `(batch, plan, policy)`: the round-robin
+//! cursor and the load counters reset per batch, so the same batch routes
+//! identically no matter what ran before it — the property the byte-stable
+//! serving reports and the retry/hedge replay machinery rely on.
+
+use fafnir_core::{Batch, IndexSet, ShardPlan, VectorIndex};
+
+/// Tie-break policy among equally-cheap owners of a replicated row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RouterPolicy {
+    /// Rotate through the candidates; spreads hot rows evenly by count.
+    #[default]
+    RoundRobin,
+    /// Send to the candidate with the fewest vector reads routed so far in
+    /// this batch; adapts to skew within the batch.
+    LeastLoaded,
+}
+
+impl RouterPolicy {
+    /// CLI-facing name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::RoundRobin => "roundrobin",
+            Self::LeastLoaded => "leastloaded",
+        }
+    }
+}
+
+impl std::str::FromStr for RouterPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "roundrobin" => Ok(Self::RoundRobin),
+            "leastloaded" => Ok(Self::LeastLoaded),
+            other => Err(format!("unknown router policy '{other}' (roundrobin|leastloaded)")),
+        }
+    }
+}
+
+/// One query's slice of work on one shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubQuery {
+    /// Position of the originating query in the routed batch.
+    pub position: usize,
+    /// The indices of that query this shard owns (or was routed).
+    pub indices: IndexSet,
+}
+
+/// A batch split into per-shard sub-queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutedBatch {
+    /// Sub-queries per shard, in originating-query order.
+    pub per_shard: Vec<Vec<SubQuery>>,
+    /// For every query position, the shards it touches, ascending.
+    pub touched: Vec<Vec<usize>>,
+    /// Replicated-row placements the policy decided (candidates > 1).
+    pub replicated_routes: u64,
+}
+
+/// Routes `batch` over `plan`, breaking replicated-row ties with `policy`.
+#[must_use]
+pub fn route(batch: &Batch, plan: &ShardPlan, policy: RouterPolicy) -> RoutedBatch {
+    let shards = plan.shards();
+    let mut per_shard: Vec<Vec<SubQuery>> = vec![Vec::new(); shards];
+    let mut touched: Vec<Vec<usize>> = Vec::with_capacity(batch.len());
+    // Estimated vector reads routed to each shard within this batch: the
+    // load signal the least-loaded policy balances on.
+    let mut load = vec![0u64; shards];
+    let mut cursor = 0usize;
+    let mut replicated_routes = 0u64;
+
+    for (position, query) in batch.queries().iter().enumerate() {
+        let mut buckets: Vec<Vec<VectorIndex>> = vec![Vec::new(); shards];
+        // Pinned rows first: they fix the query's touched set, which the
+        // cost model then tries not to grow.
+        let mut pending: Vec<VectorIndex> = Vec::new();
+        for index in query.indices.iter() {
+            if plan.is_replicated(index) {
+                pending.push(index);
+            } else {
+                buckets[plan.home_shard(index)].push(index);
+            }
+        }
+        for index in pending {
+            let owners = plan.owners(index);
+            let choice = if owners.len() == 1 {
+                owners[0]
+            } else {
+                replicated_routes += 1;
+                // Marginal cost: a shard this query already touches adds no
+                // cross-shard transfer; any new shard adds one. Owners at
+                // minimal cost go to the policy tie-break.
+                let cheap: Vec<usize> = {
+                    let already: Vec<usize> =
+                        owners.iter().copied().filter(|&s| !buckets[s].is_empty()).collect();
+                    if already.is_empty() {
+                        owners
+                    } else {
+                        already
+                    }
+                };
+                match policy {
+                    RouterPolicy::RoundRobin => {
+                        let mut sorted = cheap;
+                        sorted.sort_unstable();
+                        let pick = sorted[cursor % sorted.len()];
+                        cursor += 1;
+                        pick
+                    }
+                    RouterPolicy::LeastLoaded => cheap
+                        .iter()
+                        .copied()
+                        .min_by_key(|&s| (load[s], s))
+                        .expect("owners are never empty"),
+                }
+            };
+            buckets[choice].push(index);
+        }
+        let mut shards_touched = Vec::new();
+        for (shard, bucket) in buckets.into_iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            load[shard] += bucket.len() as u64;
+            shards_touched.push(shard);
+            per_shard[shard]
+                .push(SubQuery { position, indices: IndexSet::from_iter_dedup(bucket) });
+        }
+        touched.push(shards_touched);
+    }
+
+    RoutedBatch { per_shard, touched, replicated_routes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fafnir_core::{indexset, ShardStrategy};
+
+    fn range_plan(shards: usize, universe: u32) -> ShardPlan {
+        ShardPlan::new(shards, ShardStrategy::RowRange { universe })
+    }
+
+    #[test]
+    fn unreplicated_rows_go_home_and_touched_is_ascending() {
+        let plan = range_plan(4, 100); // spans of 25
+        let batch = Batch::from_index_sets([indexset![1, 26, 99], indexset![30, 31]]);
+        let routed = route(&batch, &plan, RouterPolicy::RoundRobin);
+        assert_eq!(routed.touched, vec![vec![0, 1, 3], vec![1]]);
+        assert_eq!(routed.per_shard[1].len(), 2);
+        assert_eq!(routed.per_shard[2].len(), 0);
+        assert_eq!(routed.replicated_routes, 0);
+    }
+
+    #[test]
+    fn replicated_rows_prefer_shards_the_query_already_touches() {
+        let plan = range_plan(4, 100).with_replicated([VectorIndex(0)]);
+        // Query touches shard 2 via index 60; the replicated index 0 should
+        // join it rather than open shard 0 — under either policy.
+        for policy in [RouterPolicy::RoundRobin, RouterPolicy::LeastLoaded] {
+            let batch = Batch::from_index_sets([indexset![0, 60]]);
+            let routed = route(&batch, &plan, policy);
+            assert_eq!(routed.touched, vec![vec![2]], "policy {policy:?}");
+            assert_eq!(routed.replicated_routes, 1);
+        }
+    }
+
+    #[test]
+    fn round_robin_rotates_replicated_singletons_across_shards() {
+        let plan = range_plan(4, 100).with_replicated([VectorIndex(0)]);
+        // Four queries of just the hot row: nothing pins them, so the
+        // cursor spreads them over all four shards.
+        let batch =
+            Batch::from_index_sets([indexset![0], indexset![0], indexset![0], indexset![0]]);
+        let routed = route(&batch, &plan, RouterPolicy::RoundRobin);
+        let counts: Vec<usize> = routed.per_shard.iter().map(Vec::len).collect();
+        assert_eq!(counts, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn least_loaded_steers_hot_rows_away_from_busy_shards() {
+        let plan = range_plan(2, 100).with_replicated([VectorIndex(0)]);
+        // Query 0 loads shard 0 with three reads; the following bare hot-row
+        // queries should all land on shard 1 (load 0 < 3).
+        let batch = Batch::from_index_sets([indexset![1, 2, 3], indexset![0], indexset![0]]);
+        let routed = route(&batch, &plan, RouterPolicy::LeastLoaded);
+        assert_eq!(routed.touched[1], vec![1]);
+        assert_eq!(routed.touched[2], vec![1]);
+    }
+
+    #[test]
+    fn routing_is_a_pure_function_of_the_batch() {
+        let plan = range_plan(3, 90).with_replicated([VectorIndex(2), VectorIndex(5)]);
+        let batch = Batch::from_index_sets([indexset![2, 5, 40], indexset![5, 80]]);
+        let a = route(&batch, &plan, RouterPolicy::RoundRobin);
+        let b = route(&batch, &plan, RouterPolicy::RoundRobin);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_queries_touch_no_shard() {
+        let plan = range_plan(2, 10);
+        let batch = Batch::from_index_sets([indexset![], indexset![3]]);
+        let routed = route(&batch, &plan, RouterPolicy::RoundRobin);
+        assert_eq!(routed.touched[0], Vec::<usize>::new());
+        assert_eq!(routed.touched[1], vec![0]);
+    }
+}

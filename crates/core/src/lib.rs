@@ -95,13 +95,13 @@ pub use index::{IndexSet, QueryId, VectorIndex};
 pub use item::{Header, Item, PendingQuery};
 pub use pe::{PeOpCounts, ProcessingElement};
 pub use pipeline::{
-    GatherEngine, GatherOutcome, MemoryPlan, ParallelBatchDriver, ParallelStreamResult,
-    PlannedRead, ReadCompletion,
+    GatherEngine, GatherOutcome, LookupService, MemoryPlan, ParallelBatchDriver,
+    ParallelStreamResult, PlannedRead, ReadCompletion,
 };
-pub use placement::{EmbeddingSource, StripedSource};
+pub use placement::{EmbeddingSource, ShardPlan, ShardStrategy, StripedSource};
 pub use reduce::{
-    ArgMaxOperator, MaxOperator, MeanOperator, MinOperator, ReduceOp, ReduceOperator, SumOperator,
-    TopKOperator,
+    combine_partials, ArgMaxOperator, MaxOperator, MeanOperator, MinOperator, ReduceOp,
+    ReduceOperator, SumOperator, TopKOperator,
 };
 pub use timing::PeTiming;
 pub use tree::{ReductionTree, TreeRun, TreeStats};

@@ -252,6 +252,48 @@ fn merge_concurrent(into: &mut Option<LookupResult>, sub: LookupResult) {
     result.traffic.bytes_to_host += sub.traffic.bytes_to_host;
 }
 
+/// The narrow interface serving layers need from an engine: a name and a
+/// whole-batch lookup.
+///
+/// [`GatherEngine`] exposes the full staged pipeline (preprocess → gather →
+/// reduce), which only makes sense for a single accelerator instance.
+/// Composite engines — e.g. a sharded cluster that fans a batch out to
+/// several trees and merges partial accumulators — have no single staged
+/// decomposition, but still answer batches. Serving simulators bound on
+/// `LookupService` accept both: every `GatherEngine` gets this trait via a
+/// blanket impl.
+pub trait LookupService {
+    /// The engine's display name.
+    fn name(&self) -> &'static str;
+
+    /// Answers a software batch end to end.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FafnirError::InvalidBatch`] for empty batches, vector
+    /// dimension mismatches, or oversized queries, and
+    /// [`FafnirError::InvalidConfig`] for backend configuration failures.
+    fn lookup<S: EmbeddingSource>(
+        &self,
+        batch: &Batch,
+        source: &S,
+    ) -> Result<LookupResult, FafnirError>;
+}
+
+impl<E: GatherEngine> LookupService for E {
+    fn name(&self) -> &'static str {
+        GatherEngine::name(self)
+    }
+
+    fn lookup<S: EmbeddingSource>(
+        &self,
+        batch: &Batch,
+        source: &S,
+    ) -> Result<LookupResult, FafnirError> {
+        GatherEngine::lookup(self, batch, source)
+    }
+}
+
 /// An engine decomposed into the three pipeline stages.
 ///
 /// Implementors provide `preprocess` and `reduce`; `gather` defaults to a

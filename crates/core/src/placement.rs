@@ -68,6 +68,156 @@ impl StripedSource {
     }
 }
 
+/// How a cluster partitions the embedding-index space across shards.
+///
+/// Each strategy maps every [`VectorIndex`] to exactly one *home* shard.
+/// Replication (hot rows present on every shard) layers on top via
+/// [`ShardPlan::with_replicated`]; the strategy itself stays a pure
+/// function of the index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardStrategy {
+    /// Whole tables stay together: shard = table id modulo shard count,
+    /// where the table id is `index / rows_per_table` (the
+    /// `EmbeddingTableSet` flattening).
+    TableWise {
+        /// Rows per table in the flattened index space.
+        rows_per_table: u32,
+    },
+    /// Row-wise hash sharding: shard = `splitmix64(index) % shards`.
+    /// Statistically balances any access pattern, at the cost of splitting
+    /// almost every multi-index query across shards.
+    RowHash,
+    /// Row-wise contiguous ranges: shard `s` owns indices
+    /// `[s * ceil(universe / shards), (s + 1) * ceil(universe / shards))`,
+    /// with the last shard absorbing the remainder. Keeps range-local
+    /// queries on one shard; skewed traffic concentrates on the shard
+    /// owning the hot prefix.
+    RowRange {
+        /// Total number of indices being partitioned.
+        universe: u32,
+    },
+}
+
+/// The SplitMix64 finalizer: a cheap, well-mixed hash for row sharding.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A snapshot of how indices map to shards: a [`ShardStrategy`] plus a
+/// frozen set of replicated (hot) rows present on every shard.
+///
+/// The replica set is fixed at construction — a *snapshot-consistent*
+/// replica set in the sense that every query routed through one plan sees
+/// the same ownership, so a row is never half-replicated mid-batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    shards: usize,
+    strategy: ShardStrategy,
+    /// Sorted, deduplicated indices replicated on every shard.
+    replicated: Vec<VectorIndex>,
+}
+
+impl ShardPlan {
+    /// A plan over `shards` shards with no replication.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`, or if the strategy's parameters are
+    /// degenerate (`rows_per_table == 0`, `universe == 0`).
+    #[must_use]
+    pub fn new(shards: usize, strategy: ShardStrategy) -> Self {
+        assert!(shards > 0, "cluster needs at least one shard");
+        match strategy {
+            ShardStrategy::TableWise { rows_per_table } => {
+                assert!(rows_per_table > 0, "tables must have at least one row");
+            }
+            ShardStrategy::RowRange { universe } => {
+                assert!(universe > 0, "range sharding needs a non-empty universe");
+            }
+            ShardStrategy::RowHash => {}
+        }
+        Self { shards, strategy, replicated: Vec::new() }
+    }
+
+    /// The same plan with `hot` rows replicated to every shard. Input order
+    /// and duplicates don't matter; the stored set is sorted and unique.
+    #[must_use]
+    pub fn with_replicated(mut self, hot: impl IntoIterator<Item = VectorIndex>) -> Self {
+        let mut replicated: Vec<VectorIndex> = hot.into_iter().collect();
+        replicated.sort_unstable();
+        replicated.dedup();
+        self.replicated = replicated;
+        self
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The partitioning strategy.
+    #[must_use]
+    pub fn strategy(&self) -> ShardStrategy {
+        self.strategy
+    }
+
+    /// The strategy's CLI-facing name.
+    #[must_use]
+    pub fn strategy_name(&self) -> &'static str {
+        match self.strategy {
+            ShardStrategy::TableWise { .. } => "tablewise",
+            ShardStrategy::RowHash => "rowhash",
+            ShardStrategy::RowRange { .. } => "rowrange",
+        }
+    }
+
+    /// The frozen replica set (sorted, unique).
+    #[must_use]
+    pub fn replicated(&self) -> &[VectorIndex] {
+        &self.replicated
+    }
+
+    /// The shard that owns `index` under the strategy alone, ignoring
+    /// replication.
+    #[must_use]
+    pub fn home_shard(&self, index: VectorIndex) -> usize {
+        let value = index.value();
+        match self.strategy {
+            ShardStrategy::TableWise { rows_per_table } => {
+                (value / rows_per_table) as usize % self.shards
+            }
+            ShardStrategy::RowHash => (splitmix64(u64::from(value)) % self.shards as u64) as usize,
+            ShardStrategy::RowRange { universe } => {
+                let span = universe.div_ceil(self.shards as u32).max(1);
+                ((value / span) as usize).min(self.shards - 1)
+            }
+        }
+    }
+
+    /// Whether `index` is in the replica set (present on every shard).
+    #[must_use]
+    pub fn is_replicated(&self, index: VectorIndex) -> bool {
+        self.replicated.binary_search(&index).is_ok()
+    }
+
+    /// Every shard holding `index`: all shards for replicated rows, the
+    /// home shard otherwise. The home shard is always `owners(i)[0]` —
+    /// replica lists rotate so each shard appears first for some rows.
+    #[must_use]
+    pub fn owners(&self, index: VectorIndex) -> Vec<usize> {
+        let home = self.home_shard(index);
+        if self.is_replicated(index) {
+            (0..self.shards).map(|offset| (home + offset) % self.shards).collect()
+        } else {
+            vec![home]
+        }
+    }
+}
+
 impl EmbeddingSource for StripedSource {
     fn location_of(&self, index: VectorIndex) -> Location {
         let ranks = self.topology.total_ranks();
@@ -190,5 +340,85 @@ mod tests {
         assert_ne!(a1, b);
         assert_eq!(a1.len(), 128);
         assert!(a1.iter().all(|x| x.abs() <= 0.5));
+    }
+
+    fn owned_by(plan: &ShardPlan, shard: usize, universe: u32) -> Vec<u32> {
+        (0..universe).filter(|&i| plan.home_shard(VectorIndex(i)) == shard).collect()
+    }
+
+    #[test]
+    fn range_sharding_leaves_tail_shards_empty_on_tiny_universes() {
+        // 3 indices over 8 shards: span = ceil(3/8) = 1, so shards 3..8 own
+        // nothing. Ownership must still be total and stable.
+        let plan = ShardPlan::new(8, ShardStrategy::RowRange { universe: 3 });
+        for shard in 0..3 {
+            assert_eq!(owned_by(&plan, shard, 3), vec![shard as u32]);
+        }
+        for shard in 3..8 {
+            assert!(owned_by(&plan, shard, 3).is_empty(), "shard {shard} should be empty");
+        }
+    }
+
+    #[test]
+    fn single_row_tables_spread_round_robin() {
+        // rows_per_table = 1 degenerates table-wise sharding into
+        // index-modulo round-robin.
+        let plan = ShardPlan::new(4, ShardStrategy::TableWise { rows_per_table: 1 });
+        for i in 0..32 {
+            assert_eq!(plan.home_shard(VectorIndex(i)), i as usize % 4);
+        }
+    }
+
+    #[test]
+    fn all_rows_hot_replicates_everything_everywhere() {
+        let universe = 16u32;
+        let plan = ShardPlan::new(4, ShardStrategy::RowHash)
+            .with_replicated((0..universe).map(VectorIndex));
+        for i in 0..universe {
+            let index = VectorIndex(i);
+            assert!(plan.is_replicated(index));
+            let mut owners = plan.owners(index);
+            owners.sort_unstable();
+            assert_eq!(owners, vec![0, 1, 2, 3]);
+            // The rotation keeps the home shard first.
+            assert_eq!(plan.owners(index)[0], plan.home_shard(index));
+        }
+    }
+
+    #[test]
+    fn range_boundaries_split_exactly_on_span_multiples() {
+        // universe = 100, shards = 4 → span = 25: index 24 is the last of
+        // shard 0, index 25 the first of shard 1, and so on.
+        let plan = ShardPlan::new(4, ShardStrategy::RowRange { universe: 100 });
+        for (boundary, shard) in [(24u32, 0usize), (25, 1), (49, 1), (50, 2), (74, 2), (75, 3)] {
+            assert_eq!(
+                plan.home_shard(VectorIndex(boundary)),
+                shard,
+                "index {boundary} belongs to shard {shard}"
+            );
+        }
+        // Out-of-universe stragglers clamp to the last shard rather than
+        // indexing past it.
+        assert_eq!(plan.home_shard(VectorIndex(1_000)), 3);
+    }
+
+    #[test]
+    fn replica_set_is_sorted_deduped_and_frozen() {
+        let plan = ShardPlan::new(2, ShardStrategy::RowHash).with_replicated([
+            VectorIndex(9),
+            VectorIndex(3),
+            VectorIndex(9),
+        ]);
+        assert_eq!(plan.replicated(), &[VectorIndex(3), VectorIndex(9)]);
+        assert!(plan.is_replicated(VectorIndex(3)));
+        assert!(!plan.is_replicated(VectorIndex(4)));
+        assert_eq!(plan.owners(VectorIndex(4)).len(), 1);
+        assert_eq!(plan.owners(VectorIndex(9)).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = ShardPlan::new(0, ShardStrategy::RowHash);
     }
 }

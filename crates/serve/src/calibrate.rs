@@ -20,8 +20,8 @@
 //! recorded envelope, either the model regressed or the envelope needs
 //! re-recording — both deserve a human look.
 
-use fafnir_core::{FafnirConfig, FafnirEngine, StripedSource};
-use fafnir_mem::{MemoryConfig, MemoryModelKind};
+use fafnir_core::FafnirEngine;
+use fafnir_mem::MemoryModelKind;
 use fafnir_workloads::arrival::ArrivalProcess;
 use fafnir_workloads::faults::FaultPlan;
 use fafnir_workloads::query::{BatchGenerator, Popularity};
@@ -298,15 +298,8 @@ impl CalibrationReport {
 ///
 /// Returns the first [`ServeError`] any simulation hits.
 pub fn calibrate(matrix: &CalibrationMatrix) -> Result<CalibrationReport, ServeError> {
-    let engine_for = |model: MemoryModelKind| -> Result<FafnirEngine, ServeError> {
-        let mut mem = MemoryConfig::ddr4_2400_4ch();
-        mem.model = model;
-        FafnirEngine::new(FafnirConfig::paper_default(), mem)
-            .map_err(|e| ServeError::InvalidConfig(e.to_string()))
-    };
-    let cycle_engine = engine_for(MemoryModelKind::Cycle)?;
-    let fast_engine = engine_for(MemoryModelKind::Fast)?;
-    let source = StripedSource::new(MemoryConfig::ddr4_2400_4ch().topology, 128);
+    let (cycle_engine, source) = crate::setup::paper_setup(MemoryModelKind::Cycle)?;
+    let (fast_engine, _) = crate::setup::paper_setup(MemoryModelKind::Fast)?;
 
     let mut scenarios = Vec::with_capacity(matrix.scenario_count());
     for &rate in &matrix.rates_qps {

@@ -69,6 +69,7 @@ pub mod queue;
 pub mod record;
 pub mod report;
 pub mod scenarios;
+pub mod setup;
 pub mod sim;
 
 pub use calibrate::{
@@ -80,6 +81,7 @@ pub use queue::ShedPolicy;
 pub use record::{AttemptRecord, AttemptResult, BatchRecord, QueryOutcome, QueryRecord};
 pub use report::{LatencyStats, ServeReport};
 pub use scenarios::{run_scenarios, Scenario, ScenarioResult};
+pub use setup::{paper_setup, worker_setup};
 pub use sim::{simulate, simulate_resilient, ResilienceConfig, ServeConfig, ServeOutcome};
 
 /// Errors a serving simulation can produce.

@@ -14,7 +14,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use fafnir_core::pipeline::GatherEngine;
+use fafnir_core::pipeline::LookupService;
 use fafnir_core::EmbeddingSource;
 use fafnir_workloads::query::BatchGenerator;
 
@@ -79,7 +79,7 @@ pub fn run_scenarios<E, S>(
     threads: usize,
 ) -> Vec<ScenarioResult>
 where
-    E: GatherEngine + Sync,
+    E: LookupService + Sync,
     S: EmbeddingSource + Sync,
 {
     assert!(threads >= 1, "scenario runner needs at least one thread");

@@ -15,7 +15,7 @@
 //! backoff expiry, worker restart), so a run is fully determined by its
 //! configuration and seeds — byte-identical across hosts, thread counts,
 //! and reruns. Each dispatched batch is served by a
-//! [`GatherEngine::lookup`] on the worker's own private memory system
+//! [`LookupService::lookup`] on the worker's own private memory system
 //! (the [`fafnir_core::ParallelBatchDriver`] replication pattern), and the
 //! engine's per-query completion times become per-query completion events
 //! on the serving clock.
@@ -36,7 +36,7 @@
 use std::collections::VecDeque;
 
 use fafnir_core::placement::EmbeddingSource;
-use fafnir_core::{Batch, GatherEngine, IndexSet, LookupResult};
+use fafnir_core::{Batch, IndexSet, LookupResult, LookupService};
 use fafnir_workloads::arrival::ArrivalProcess;
 use fafnir_workloads::faults::{FaultPlan, WorkerFaults};
 use fafnir_workloads::query::BatchGenerator;
@@ -348,7 +348,7 @@ impl Job {
 ///
 /// Returns [`ServeError::InvalidConfig`] for invalid configurations and
 /// [`ServeError::Engine`] if the engine rejects a formed batch.
-pub fn simulate<E: GatherEngine, S: EmbeddingSource>(
+pub fn simulate<E: LookupService, S: EmbeddingSource>(
     engine: &E,
     source: &S,
     traffic: &mut BatchGenerator,
@@ -371,7 +371,7 @@ pub fn simulate<E: GatherEngine, S: EmbeddingSource>(
 /// (including a fault plan that does not cover `config.workers` replicas)
 /// and [`ServeError::Engine`] if the engine rejects a formed batch.
 #[allow(clippy::too_many_lines)]
-pub fn simulate_resilient<E: GatherEngine, S: EmbeddingSource>(
+pub fn simulate_resilient<E: LookupService, S: EmbeddingSource>(
     engine: &E,
     source: &S,
     traffic: &mut BatchGenerator,
@@ -601,7 +601,7 @@ impl Sim<'_> {
     /// [`LookupResult::scale_service_time`]; they never re-reduce, so
     /// per-query accumulator state (Mean's carried count, TopK's heap) is
     /// finalized once per batch no matter how many attempts are started.
-    fn form_job<E: GatherEngine, S: EmbeddingSource>(
+    fn form_job<E: LookupService, S: EmbeddingSource>(
         &mut self,
         ids: Vec<usize>,
         now: f64,

@@ -79,6 +79,24 @@ impl Zipf {
         self.theta
     }
 
+    /// The hottest `fraction` of the universe: item ids `0..ceil(n·f)`.
+    ///
+    /// Under this sampler's rank→id mapping, id 0 is the hottest item and
+    /// popularity decays monotonically with id, so the hot set of any
+    /// fraction is exactly an id prefix. Cluster serving replicates this
+    /// set across shards to spread skewed load. A fraction of 0 yields an
+    /// empty set; 1 (or more) yields the whole universe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is negative or not finite.
+    #[must_use]
+    pub fn hot_set(&self, fraction: f64) -> Vec<u64> {
+        assert!(fraction.is_finite() && fraction >= 0.0, "fraction must be finite and >= 0");
+        let count = ((self.n as f64 * fraction).ceil() as u64).min(self.n);
+        (0..count).collect()
+    }
+
     /// Draws one sample (0-based item id; id 0 is the hottest).
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
         if self.theta == 0.0 {
@@ -205,5 +223,28 @@ mod tests {
     #[should_panic(expected = "universe must be non-empty")]
     fn zero_universe_panics() {
         let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn hot_set_is_an_id_prefix_of_the_right_size() {
+        let zipf = Zipf::new(1000, 1.2);
+        assert_eq!(zipf.hot_set(0.0), Vec::<u64>::new());
+        assert_eq!(zipf.hot_set(0.01), (0..10).collect::<Vec<_>>());
+        assert_eq!(zipf.hot_set(1.0).len(), 1000);
+        assert_eq!(zipf.hot_set(2.0).len(), 1000, "fractions past 1 clamp to the universe");
+        // ceil: any positive fraction captures at least the hottest item.
+        assert_eq!(zipf.hot_set(1e-9), vec![0]);
+    }
+
+    #[test]
+    fn hot_set_actually_covers_most_skewed_traffic() {
+        let zipf = Zipf::new(1000, 1.2);
+        let hot = zipf.hot_set(0.05);
+        let counts = histogram(&zipf, 50_000, 6);
+        let hot_hits: usize = hot.iter().map(|&id| counts[id as usize]).sum();
+        assert!(
+            hot_hits * 2 > 50_000,
+            "top 5% of a θ=1.2 Zipf should draw over half the traffic, got {hot_hits}/50000"
+        );
     }
 }

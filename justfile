@@ -62,6 +62,13 @@ bench-topk *ARGS:
 bench-fastmem *ARGS:
     cargo bench -p fafnir-bench --bench fast_memory -- {{ARGS}}
 
+# Regenerate the sharded-cluster measurement (BENCH_cluster.json): throughput,
+# per-shard imbalance, and cross-shard traffic vs shard count at two Zipf
+# skews, plus hot-row replication relief. Same guard: `just bench-cluster
+# --force` accepts a regression.
+bench-cluster *ARGS:
+    cargo bench -p fafnir-bench --bench cluster -- {{ARGS}}
+
 # Run the full (24-scenario) cross-mode calibration matrix and check it
 # against the recorded envelope; exits non-zero on a violation.
 calibrate:
