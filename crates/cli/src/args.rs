@@ -27,7 +27,7 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Flags that never take a value.
-const SWITCHES: &[&str] = &["no-dedup", "interactive", "refresh", "help", "json"];
+const SWITCHES: &[&str] = &["no-dedup", "interactive", "refresh", "help", "json", "stream"];
 
 impl ParsedArgs {
     /// Parses tokens (without the program name).

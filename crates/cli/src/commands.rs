@@ -74,7 +74,9 @@ pub fn usage() -> String {
                 --gen uniform|rmat|banded|spd (rmat) --rows N (4096)\n\
                 --density D (0.01, uniform) --nnz N (rows*8, rmat)\n\
                 --bandwidth B (4, banded/spd) --vector-size V (2048)\n\
-                --seed X (7)\n\
+                --mtx FILE (load Matrix Market input) --seed X (7)\n\
+                --partition row|nnz|col|grid (off) --ranks R (8)\n\
+                --stream (chunk-at-a-time driver) --json\n\
        report   print the deployment summary\n\
                 --ranks R (32) --ratio 1|2|4 (2) --cores C (4)\n\
        trace    record or characterize query traces\n\
@@ -481,30 +483,102 @@ fn spmv(args: &ParsedArgs) -> Result<String, ArgError> {
     let rows: usize = args.number_or("rows", 4_096)?;
     let seed: u64 = args.number_or("seed", 7)?;
     let vector_size: usize = args.number_or("vector-size", 2_048)?;
-    if rows == 0 || vector_size == 0 {
-        return Err(ArgError("--rows and --vector-size must be non-zero".into()));
+    if rows == 0 {
+        return Err(ArgError("--rows must be non-zero".into()));
+    }
+    if vector_size < 2 {
+        return Err(ArgError(
+            "--vector-size must be at least 2: a 1-stream merge round never \
+             shrinks the stream count"
+                .into(),
+        ));
     }
     let generator = args.get_or("gen", "rmat");
-    if let Some(path) = args.get("mtx") {
+    let (matrix, label) = if let Some(path) = args.get("mtx") {
         let matrix = fafnir_sparse::mtx::read_file(std::path::Path::new(path))
             .map_err(|e| ArgError(e.to_string()))?;
-        return run_spmv_report(&matrix, "mtx file", vector_size);
-    }
-    let matrix = match generator {
-        "uniform" => {
-            let density: f64 = args.number_or("density", 0.01)?;
-            gen::uniform(rows, rows, density, seed)
-        }
-        "rmat" => {
-            let scale = rows.next_power_of_two().trailing_zeros();
-            let nnz: usize = args.number_or("nnz", rows * 8)?;
-            gen::rmat(scale.max(1), nnz, seed)
-        }
-        "banded" => gen::banded(rows, args.number_or("bandwidth", 4)?, seed),
-        "spd" => gen::spd_banded(rows, args.number_or("bandwidth", 4)?, seed),
-        other => return Err(ArgError(format!("unknown generator `{other}`"))),
+        (matrix, "mtx file")
+    } else {
+        let matrix = match generator {
+            "uniform" => {
+                let density: f64 = args.number_or("density", 0.01)?;
+                gen::uniform(rows, rows, density, seed)
+            }
+            "rmat" => {
+                let scale = rows.next_power_of_two().trailing_zeros();
+                let nnz: usize = args.number_or("nnz", rows * 8)?;
+                gen::rmat(scale.max(1), nnz, seed)
+            }
+            "banded" => gen::banded(rows, args.number_or("bandwidth", 4)?, seed),
+            "spd" => gen::spd_banded(rows, args.number_or("bandwidth", 4)?, seed),
+            other => return Err(ArgError(format!("unknown generator `{other}`"))),
+        };
+        (matrix, generator)
     };
-    run_spmv_report(&matrix, generator, vector_size)
+    if let Some(spec) = args.get("partition") {
+        return run_spmv_partitioned(&matrix, label, spec, vector_size, args);
+    }
+    run_spmv_report(&matrix, label, vector_size)
+}
+
+fn run_spmv_partitioned(
+    matrix: &fafnir_sparse::CooMatrix,
+    label: &str,
+    spec: &str,
+    vector_size: usize,
+    args: &ParsedArgs,
+) -> Result<String, ArgError> {
+    use fafnir_sparse::{
+        execute_partitioned, stream_partitioned, PartitionReport, PartitionStrategy, SpmvPartition,
+    };
+    let ranks: usize = args.number_or("ranks", 8)?;
+    if ranks == 0 {
+        return Err(ArgError("--ranks must be non-zero".into()));
+    }
+    let strategy = match spec {
+        "row" => PartitionStrategy::RowBlock,
+        "nnz" => PartitionStrategy::NnzBalancedRows,
+        "col" => PartitionStrategy::ColumnBlock,
+        "grid" => PartitionStrategy::grid(ranks),
+        other => {
+            return Err(ArgError(format!("unknown --partition `{other}` (row|nnz|col|grid)")));
+        }
+    };
+    // Surface oversubscription as a flag error, not a panic downstream.
+    let fits = match strategy {
+        PartitionStrategy::RowBlock | PartitionStrategy::NnzBalancedRows => ranks <= matrix.rows(),
+        PartitionStrategy::ColumnBlock => ranks <= matrix.cols(),
+        PartitionStrategy::Grid { row_ranks, col_ranks } => {
+            row_ranks <= matrix.rows() && col_ranks <= matrix.cols()
+        }
+    };
+    if !fits {
+        return Err(ArgError(format!(
+            "--ranks {ranks} oversubscribes a {} x {} matrix under --partition {spec}",
+            matrix.rows(),
+            matrix.cols()
+        )));
+    }
+    let partition = SpmvPartition::new(matrix, strategy, ranks);
+    let x = vec![1.0; matrix.cols()];
+    let run = if args.switch("stream") {
+        stream_partitioned(matrix, &x, &partition, vector_size)
+    } else {
+        execute_partitioned(matrix, &x, &partition, vector_size)
+    };
+    let serial = fafnir_spmv::execute(&LilMatrix::from(matrix), &x, vector_size);
+    let timing = SpmvTiming::paper();
+    let report = PartitionReport::new(&run, &serial, &timing, &matrix.multiply_dense(&x));
+    if args.switch("json") {
+        return Ok(format!("{}\n", report.to_json()));
+    }
+    Ok(format!(
+        "spmv: `{label}` matrix partitioned {} ways ({}{})\n{}",
+        ranks,
+        spec,
+        if args.switch("stream") { ", streaming driver" } else { "" },
+        report.render_table()
+    ))
 }
 
 fn run_spmv_report(
@@ -1012,6 +1086,54 @@ mod tests {
         assert!(out.contains("speedup"));
         std::fs::remove_file(&path).ok();
         assert!(run_line("spmv --mtx /does/not/exist.mtx").is_err());
+    }
+
+    #[test]
+    fn spmv_runs_each_partition_strategy() {
+        for strategy in ["row", "nnz", "col", "grid"] {
+            let line =
+                format!("spmv --gen rmat --rows 128 --partition {strategy} --ranks 4 --seed 3");
+            let out = run_line(&line).unwrap();
+            assert!(out.contains("nnz imbalance"), "{strategy}:\n{out}");
+            assert!(out.contains("ideal 4x"), "{strategy}:\n{out}");
+        }
+    }
+
+    #[test]
+    fn spmv_partition_streams_and_serializes() {
+        let out =
+            run_line("spmv --gen banded --rows 256 --partition nnz --ranks 4 --stream --seed 3")
+                .unwrap();
+        assert!(out.contains("streaming driver"), "{out}");
+        let json =
+            run_line("spmv --gen banded --rows 256 --partition col --ranks 4 --json --seed 3")
+                .unwrap();
+        assert!(json.contains("\"strategy\": \"col\""), "{json}");
+        assert!(json.contains("\"sync_entries\""), "{json}");
+    }
+
+    #[test]
+    fn spmv_partition_flags_reject_garbage() {
+        assert!(run_line("spmv --partition diagonal").unwrap_err().0.contains("diagonal"));
+        assert!(run_line("spmv --partition row --ranks x").is_err());
+        assert!(run_line("spmv --partition row --ranks 0").is_err());
+        // Oversubscription is a flag error, not a panic.
+        let err = run_line("spmv --gen banded --rows 4 --partition row --ranks 64").unwrap_err();
+        assert!(err.0.contains("oversubscribes"), "{err}");
+        // Duplicate flags are rejected by the parser.
+        let parse = ParsedArgs::parse(
+            "spmv --partition row --partition col".split_whitespace().map(String::from),
+        );
+        assert!(parse.unwrap_err().0.contains("twice"));
+        let parse =
+            ParsedArgs::parse("spmv --stream --stream".split_whitespace().map(String::from));
+        assert!(parse.unwrap_err().0.contains("twice"));
+    }
+
+    #[test]
+    fn spmv_rejects_vector_size_one() {
+        let err = run_line("spmv --gen banded --rows 64 --vector-size 1").unwrap_err();
+        assert!(err.0.contains("at least 2"), "{err}");
     }
 
     #[test]

@@ -61,13 +61,21 @@ impl MatrixProfile {
             bandwidth = bandwidth.max(row.abs_diff(col));
         }
         let symmetric = matrix.rows() == matrix.cols() && {
-            // Entries are sorted; look each (i, j, v) up as (j, i, v).
+            // Entries are sorted; look each (i, j, v) up as (j, i, v). The
+            // comparison is relative (with an absolute floor near zero): an
+            // absolute 1e-12 cutoff misreported large-valued symmetric
+            // matrices as unsymmetric, since values around 1e6 that agree to
+            // machine precision still differ by ~1e-10 in absolute terms.
             matrix.entries().iter().all(|&(row, col, value)| {
                 row == col
                     || matrix
                         .entries()
                         .binary_search_by(|probe| (probe.0, probe.1).cmp(&(col, row)))
-                        .map(|pos| (matrix.entries()[pos].2 - value).abs() < 1e-12)
+                        .map(|pos| {
+                            let mirror = matrix.entries()[pos].2;
+                            let scale = value.abs().max(mirror.abs());
+                            (mirror - value).abs() <= 1e-12 + 1e-9 * scale
+                        })
                         .unwrap_or(false)
             })
         };
@@ -147,6 +155,29 @@ mod tests {
         let profile = MatrixProfile::of(&matrix);
         assert!(profile.symmetric);
         assert_eq!(profile.bandwidth, 2);
+    }
+
+    #[test]
+    fn symmetry_check_tolerates_rounding_on_large_values() {
+        // Values around 1e6 that agree to ~machine precision: the mirrored
+        // entries differ by 1e-9 in absolute terms, which the old absolute
+        // 1e-12 cutoff flagged as unsymmetric.
+        let large = CooMatrix::from_triplets(
+            3,
+            3,
+            [
+                (0, 0, 2.5e6),
+                (0, 1, 1.0e6),
+                (1, 0, 1.0e6 + 1.0e-9),
+                (1, 2, -3.0e6),
+                (2, 1, -3.0e6 - 1.0e-9),
+            ],
+        );
+        assert!(MatrixProfile::of(&large).symmetric, "rounding-level skew is symmetric");
+
+        // A genuinely asymmetric large-valued matrix must still be caught.
+        let broken = CooMatrix::from_triplets(2, 2, [(0, 1, 1.0e6), (1, 0, 1.0e6 + 1.0)]);
+        assert!(!MatrixProfile::of(&broken).symmetric, "a 1.0 gap at 1e6 is real asymmetry");
     }
 
     #[test]

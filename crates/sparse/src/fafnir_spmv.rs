@@ -34,6 +34,11 @@ pub struct SpmvTiming {
     pub two_step_merge_ns: f64,
     /// Fixed per-round overhead (kernel launch, stream setup).
     pub round_overhead_ns: f64,
+    /// Synchronization cost per partial-result entry reduced *across*
+    /// partition ranks (see [`crate::partition`]): a cross-rank entry pays
+    /// the tree-merge cost plus the accumulator-link transfer, the way
+    /// `fafnir-cluster` prices cross-shard accumulator traffic.
+    pub sync_merge_ns: f64,
 }
 
 impl SpmvTiming {
@@ -47,17 +52,25 @@ impl SpmvTiming {
             two_step_multiply_ns: 0.16 * 4.6,
             two_step_merge_ns: 0.48 * 0.2,
             round_overhead_ns: 100.0,
+            sync_merge_ns: 0.8,
         }
     }
 
     /// Total time of a run on FAFNIR given its per-iteration entry volumes.
     #[must_use]
     pub fn fafnir_ns(&self, run: &SpmvRun) -> f64 {
-        let mut total = run.volumes[0] as f64 * self.fafnir_multiply_ns;
-        for &volume in &run.volumes[1..] {
+        self.fafnir_parts_ns(&run.volumes, run.plan.total_rounds())
+    }
+
+    /// Time of one (sub-)run from its raw per-iteration volumes and round
+    /// count — the form partition ranks carry (see [`crate::partition`]).
+    #[must_use]
+    pub fn fafnir_parts_ns(&self, volumes: &[u64], total_rounds: usize) -> f64 {
+        let mut total = volumes.first().map_or(0.0, |&v| v as f64 * self.fafnir_multiply_ns);
+        for &volume in volumes.iter().skip(1) {
             total += volume as f64 * self.fafnir_merge_ns;
         }
-        total + run.plan.total_rounds() as f64 * self.round_overhead_ns
+        total + total_rounds as f64 * self.round_overhead_ns
     }
 
     /// Total time of the same run on the Two-Step accelerator.
@@ -97,15 +110,53 @@ pub struct SpmvRun {
     pub ops: StreamOps,
 }
 
+/// The outcome of [`execute_to_stream`]: the tree's final combined
+/// row-sorted stream plus the plan/volume accounting, *before* the stream
+/// is scattered into a dense vector. This is the form a partition rank
+/// ships to the synchronization stage (see [`crate::partition`]), where
+/// partial rows from several ranks still have to be reduced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpmvStreamRun {
+    /// The combined row-sorted partial-result stream.
+    pub stream: PartialStream,
+    /// The iteration/round plan used.
+    pub plan: SpmvPlan,
+    /// Entries processed per iteration (see [`SpmvRun::volumes`]).
+    pub volumes: Vec<u64>,
+    /// Exact operation counts across the run.
+    pub ops: StreamOps,
+}
+
 /// Executes `y = A·x` on the FAFNIR tree, functionally and with exact
 /// per-iteration volume accounting.
 ///
 /// # Panics
 ///
-/// Panics if `x.len() != matrix.cols()` or `vector_size` is zero.
+/// Panics if `x.len() != matrix.cols()` or `vector_size < 2` — a
+/// 1-stream merge round can never shrink the stream count, so
+/// `vector_size == 1` would loop forever (the tree needs at least two
+/// inputs per PE to make progress).
 #[must_use]
 pub fn execute(matrix: &LilMatrix, x: &[f64], vector_size: usize) -> SpmvRun {
+    let SpmvStreamRun { stream, plan, volumes, ops } = execute_to_stream(matrix, x, vector_size);
+    SpmvRun { y: stream.to_dense(matrix.rows()), plan, volumes, ops }
+}
+
+/// Like [`execute`], but returns the final combined stream instead of a
+/// dense vector — the sparse form cross-partition synchronization merges.
+///
+/// # Panics
+///
+/// Panics if `x.len() != matrix.cols()` or `vector_size < 2` (see
+/// [`execute`]).
+#[must_use]
+pub fn execute_to_stream(matrix: &LilMatrix, x: &[f64], vector_size: usize) -> SpmvStreamRun {
     assert_eq!(x.len(), matrix.cols(), "operand length mismatch");
+    assert!(
+        vector_size >= 2,
+        "vector size must be at least 2: a 1-stream merge round never \
+         shrinks the stream count"
+    );
     let plan = SpmvPlan::new(matrix.cols(), vector_size);
     let mut ops = StreamOps::default();
     let mut volumes = vec![matrix.nnz() as u64];
@@ -141,9 +192,9 @@ pub fn execute(matrix: &LilMatrix, x: &[f64], vector_size: usize) -> SpmvRun {
         streams = next;
     }
 
-    let y = streams.pop().unwrap_or_default().to_dense(matrix.rows());
+    let stream = streams.pop().unwrap_or_default();
     debug_assert_eq!(volumes.len(), plan.iterations());
-    SpmvRun { y, plan, volumes, ops }
+    SpmvStreamRun { stream, plan, volumes, ops }
 }
 
 #[cfg(test)]
@@ -217,6 +268,29 @@ mod tests {
         assert!(speedup >= 1.05, "worst case stays ≥ ~1.1: {speedup}");
         let easy = execute(&lil(&coo), &x, 2048);
         assert!(timing.speedup(&easy) > speedup, "fewer merges ⇒ bigger win");
+    }
+
+    #[test]
+    #[should_panic(expected = "vector size must be at least 2")]
+    fn vector_size_one_fails_fast_instead_of_livelocking() {
+        // Regression: the merge loop groups `take(vector_size)` streams per
+        // round, so with vector_size == 1 the stream count never shrank and
+        // `execute` spun forever. It must panic immediately instead.
+        let coo = gen::uniform(8, 8, 0.5, 3);
+        let x = vec![1.0; 8];
+        let _ = execute(&lil(&coo), &x, 1);
+    }
+
+    #[test]
+    fn stream_variant_matches_the_dense_path() {
+        let coo = gen::rmat(6, 400, 11);
+        let x: Vec<f64> = (0..64).map(|i| 0.5 + i as f64 * 0.1).collect();
+        let dense = execute(&lil(&coo), &x, 16);
+        let stream = execute_to_stream(&lil(&coo), &x, 16);
+        assert_eq!(stream.stream.to_dense(64), dense.y);
+        assert_eq!(stream.plan, dense.plan);
+        assert_eq!(stream.volumes, dense.volumes);
+        assert_eq!(stream.ops, dense.ops);
     }
 
     #[test]

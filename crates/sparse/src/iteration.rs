@@ -38,10 +38,17 @@ impl SpmvPlan {
     ///
     /// # Panics
     ///
-    /// Panics if either argument is zero.
+    /// Panics if `columns` is zero or `vector_size < 2`: a merge round that
+    /// folds "up to one" stream never reduces the stream count, so a plan
+    /// with vector size 1 could never terminate.
     #[must_use]
     pub fn new(columns: usize, vector_size: usize) -> Self {
-        assert!(columns > 0 && vector_size > 0, "plan dimensions must be non-zero");
+        assert!(columns > 0, "plan dimensions must be non-zero");
+        assert!(
+            vector_size >= 2,
+            "vector size must be at least 2: a 1-stream merge round never \
+             shrinks the stream count"
+        );
         let mut rounds_per_iteration = Vec::new();
         // Iteration 0: one round per column chunk.
         let mut streams = columns.div_ceil(vector_size);
@@ -115,6 +122,12 @@ mod tests {
         assert_eq!(plan.merge_iterations(), 2);
         assert_eq!(plan.multiply_rounds(), 9766);
         assert_eq!(plan.rounds_per_iteration, vec![9766, 5, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "vector size must be at least 2")]
+    fn vector_size_one_is_rejected() {
+        let _ = SpmvPlan::new(100, 1);
     }
 
     #[test]

@@ -17,6 +17,10 @@
 //!   measured DRAM streaming and tree-ingestion bounds;
 //! * [`analysis`] — structural matrix profiles (degree skew, bandwidth,
 //!   symmetry) behind Fig. 14's suitability commentary;
+//! * [`partition`] — load-balanced 1D/2D SpMV partitioning across ranks
+//!   (row-block, nnz-balanced, column-block, grid) with an explicit
+//!   synchronization stage, real-PIM style;
+//! * [`report`] — the partitioned-SpMV report (imbalance, sync, speedup);
 //! * [`spmm`] — sparse × dense-matrix products (matrix algebra);
 //! * [`apps`] — Jacobi/conjugate-gradient solvers and PageRank built on the
 //!   engines.
@@ -44,6 +48,8 @@ pub mod gen;
 pub mod iteration;
 pub mod lil;
 pub mod mtx;
+pub mod partition;
+pub mod report;
 pub mod spmm;
 pub mod stream;
 pub mod two_step;
@@ -51,7 +57,12 @@ pub mod two_step;
 pub use analysis::MatrixProfile;
 pub use coo::CooMatrix;
 pub use csr::CsrMatrix;
-pub use fafnir_spmv::{SpmvRun, SpmvTiming};
+pub use fafnir_spmv::{SpmvRun, SpmvStreamRun, SpmvTiming};
 pub use iteration::SpmvPlan;
 pub use lil::LilMatrix;
+pub use partition::{
+    execute_partitioned, stream_partitioned, PartitionStrategy, PartitionedRun, RankRun, RankSpan,
+    SpmvPartition,
+};
+pub use report::PartitionReport;
 pub use stream::{PartialStream, StreamOps};

@@ -126,6 +126,16 @@ pub fn parse(text: &str) -> Result<CooMatrix, MtxError> {
     if rows == 0 || cols == 0 {
         return Err(MtxError::new(size_line, "matrix dimensions must be non-zero"));
     }
+    // Mirrored (col, row) entries are only meaningful on square matrices;
+    // on a non-square size line they would land out of bounds and panic in
+    // `CooMatrix::push` instead of surfacing a proper parse error.
+    if symmetry != Symmetry::General && rows != cols {
+        let flavour = if symmetry == Symmetry::Symmetric { "symmetric" } else { "skew-symmetric" };
+        return Err(MtxError::new(
+            size_line,
+            format!("{flavour} matrices must be square, got {rows} x {cols}"),
+        ));
+    }
 
     let mut triplets: Vec<(usize, usize, f64)> = Vec::with_capacity(nnz);
     let mut seen = 0usize;
@@ -250,6 +260,31 @@ mod tests {
 ";
         let matrix = parse(text).unwrap();
         assert_eq!(matrix.entries(), &[(0, 1, -4.0), (1, 0, 4.0)]);
+    }
+
+    #[test]
+    fn non_square_symmetric_inputs_error_instead_of_panicking() {
+        // Regression: the mirrored (col, row) entry was never bounds-checked
+        // against the transposed orientation, so a 3x2 symmetric input with
+        // an entry in row 3 asserted inside `CooMatrix::push`.
+        let symmetric = "\
+%%MatrixMarket matrix coordinate real symmetric
+3 2 1
+3 1 4.0
+";
+        let error = parse(symmetric).unwrap_err();
+        assert_eq!(error.line, 2, "the size line is the offender");
+        assert!(error.message.contains("square"), "{error}");
+        assert!(error.message.contains("3 x 2"), "{error}");
+
+        let skew = "\
+%%MatrixMarket matrix coordinate real skew-symmetric
+2 3 1
+1 3 4.0
+";
+        let error = parse(skew).unwrap_err();
+        assert_eq!(error.line, 2);
+        assert!(error.message.contains("skew-symmetric"), "{error}");
     }
 
     #[test]

@@ -22,11 +22,16 @@ use crate::stream::{PartialStream, StreamOps};
 ///
 /// # Panics
 ///
-/// Panics if `x.len() != matrix.cols()` or `vector_size` is zero.
+/// Panics if `x.len() != matrix.cols()` or `vector_size < 2` (the shared
+/// [`SpmvPlan`] rejects 1-stream merge rounds).
 #[must_use]
 pub fn execute(matrix: &LilMatrix, x: &[f64], vector_size: usize) -> SpmvRun {
     assert_eq!(x.len(), matrix.cols(), "operand length mismatch");
-    assert!(vector_size > 0, "vector size must be non-zero");
+    assert!(
+        vector_size >= 2,
+        "vector size must be at least 2: a 1-stream merge round never \
+         shrinks the stream count"
+    );
     let mut ops = StreamOps::default();
     let mut volumes = vec![matrix.nnz() as u64];
 

@@ -1,0 +1,68 @@
+//! Property tests for Matrix Market I/O: `parse(write(m))` must be the
+//! identity over every generator family the crate ships, including
+//! matrices carrying explicit-zero entries (Matrix Market stores what it
+//! is given; an explicit zero is a stored entry, not an absence).
+
+use fafnir_sparse::{gen, mtx, CooMatrix};
+use proptest::prelude::*;
+
+/// Round-trips a matrix through text and demands exact equality — `f64`'s
+/// `Display` prints the shortest digits that re-parse to the same bits, so
+/// no tolerance is needed.
+fn assert_round_trips(matrix: &CooMatrix) {
+    let text = mtx::write(matrix);
+    let again = mtx::parse(&text).expect("written matrix must re-parse");
+    assert_eq!(matrix, &again, "round trip must be the identity");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn uniform_matrices_round_trip(
+        rows in 1usize..60,
+        cols in 1usize..60,
+        density in 0.0f64..0.4,
+        seed in 0u64..1_000,
+    ) {
+        assert_round_trips(&gen::uniform(rows, cols, density, seed));
+    }
+
+    #[test]
+    fn rmat_matrices_round_trip(scale in 2u32..8, nnz in 1usize..2_000, seed in 0u64..1_000) {
+        assert_round_trips(&gen::rmat(scale, nnz, seed));
+    }
+
+    #[test]
+    fn banded_matrices_round_trip(
+        n in 1usize..120,
+        bandwidth in 0usize..6,
+        seed in 0u64..1_000,
+    ) {
+        assert_round_trips(&gen::banded(n, bandwidth, seed));
+        assert_round_trips(&gen::spd_banded(n, bandwidth, seed));
+    }
+
+    #[test]
+    fn explicit_zero_entries_survive_the_round_trip(
+        n in 3usize..40,
+        bandwidth in 0usize..4,
+        seed in 0u64..1_000,
+        zero_col in 0usize..1_000,
+    ) {
+        // Plant an explicit zero at a cell the banded pattern never touches
+        // (outside the band, so it cannot collide with a stored entry and
+        // be summed away by the generator contract).
+        let base = gen::banded(n, bandwidth, seed);
+        if n > bandwidth + 1 {
+            let zero_col = bandwidth + 1 + zero_col % (n - bandwidth - 1);
+            let with_zero = CooMatrix::from_triplets(
+                n,
+                n,
+                base.entries().iter().copied().chain([(0, zero_col, 0.0)]),
+            );
+            assert_eq!(with_zero.nnz(), base.nnz() + 1, "explicit zero is a stored entry");
+            assert_round_trips(&with_zero);
+        }
+    }
+}

@@ -69,6 +69,13 @@ bench-fastmem *ARGS:
 bench-cluster *ARGS:
     cargo bench -p fafnir-bench --bench cluster -- {{ARGS}}
 
+# Regenerate the partitioned-SpMV measurement (BENCH_spmv.json): nnz/time
+# imbalance, sync volume, and modeled speedup for 1D row / nnz-balanced /
+# column and 2D grid partitions over R-MAT and banded matrices at four rank
+# counts. Same guard: `just bench-spmv --force` accepts a regression.
+bench-spmv *ARGS:
+    cargo bench -p fafnir-bench --bench spmv_partition -- {{ARGS}}
+
 # Run the full (24-scenario) cross-mode calibration matrix and check it
 # against the recorded envelope; exits non-zero on a violation.
 calibrate:
